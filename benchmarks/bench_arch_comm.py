@@ -1,0 +1,18 @@
+"""Extension: communication bottleneck across architectures (S3.2)."""
+
+from repro.experiments import arch_comm
+
+from conftest import emit, run_once
+
+
+def bench_arch_comm_load(benchmark):
+    result = run_once(benchmark, arch_comm.run)
+    emit("Architecture communication load", arch_comm.format_rows(result))
+    names = list(result)
+    central, poly, decent = (result[n] for n in names)
+    # identical learning outcome...
+    assert central["final_acc"] == poly["final_acc"] == decent["final_acc"]
+    # ...but the per-node bottleneck shrinks as servers are added
+    assert central["max_node_load"] > poly["max_node_load"] > decent["max_node_load"]
+    # the central server carries ~N x the average node's traffic
+    assert central["max_node_load"] > 3 * central["mean_node_load"]

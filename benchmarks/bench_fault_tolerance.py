@@ -1,0 +1,23 @@
+"""Extension: node-failure tolerance across cluster policies (S3.2/S4.5)."""
+
+from repro.experiments import fault_tolerance
+
+from conftest import emit, run_once
+
+
+def bench_fault_tolerance(benchmark):
+    result = run_once(benchmark, fault_tolerance.run)
+    emit("Fault tolerance", fault_tolerance.format_rows(result))
+    s = result["scenarios"]
+    # a dead worker is harmless
+    assert s["worker_fails"]["final_acc"] >= s["no_failure"]["final_acc"] - 0.05
+    # a dead static-cluster server freezes the model (the paper's crash)
+    assert abs(
+        s["server_fails"]["final_acc"] - s["server_fails"]["acc_at_failure"]
+    ) < 0.02
+    # S4.5 re-selection replaces the dead server and recovers fully
+    assert (
+        s["server_fails_reselect"]["final_acc"]
+        >= s["no_failure"]["final_acc"] - 0.05
+    )
+    assert 1 not in s["server_fails_reselect"]["final_servers"]

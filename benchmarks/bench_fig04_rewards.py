@@ -1,0 +1,18 @@
+"""Regenerates Figure 4: reward distribution and attractiveness by quality."""
+
+from repro.experiments import fig04_rewards
+
+from conftest import emit, run_once
+
+
+def bench_fig04_reward_distribution(benchmark):
+    result = run_once(benchmark, fig04_rewards.run, repetitions=10, probe_rounds=3)
+    rows = fig04_rewards.format_rows(result)
+    emit("Figure 4: reward distribution / attractiveness", rows)
+    # paper shape: FIFL pays top deciles more than bottom deciles
+    fifl = result["rewards"]["fifl"]
+    assert sum(fifl[-3:]) > sum(fifl[:3])
+    # Equal attracts the low-quality end more than anyone else
+    attr = result["attractiveness"]
+    bottom_attr = {m: attr[m][0] for m in attr}
+    assert bottom_attr["equal"] == max(bottom_attr.values())

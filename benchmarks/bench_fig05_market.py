@@ -1,0 +1,20 @@
+"""Regenerates Figure 5: market data attraction and relative revenue."""
+
+from repro.experiments import fig05_market
+from repro.market import MECHANISMS
+
+from conftest import emit, run_once
+
+
+def bench_fig05_market(benchmark):
+    result = run_once(
+        benchmark, fig05_market.run, repetitions=10, iterations=100, probe_rounds=3
+    )
+    emit("Figure 5: data share / relative revenue", fig05_market.format_rows(result))
+    ds = result["data_share"]
+    # paper shape: FIFL and Union lead the market, Equal trails
+    assert ds["fifl"] > ds["equal"]
+    assert ds["union"] > ds["individual"] > ds["equal"]
+    # revenue differences are compressed by the log utility (paper: <= 3.4%)
+    for m in MECHANISMS:
+        assert abs(result["relative_revenue"][m]) < 10.0

@@ -1,0 +1,24 @@
+"""Regenerates Figure 6: system revenue under attacks, relative to FIFL."""
+
+from repro.experiments import fig06_unreliable
+from repro.market import MECHANISMS
+
+from conftest import emit, run_once
+
+
+def bench_fig06_unreliable(benchmark):
+    result = run_once(
+        benchmark, fig06_unreliable.run, repetitions=10, probe_rounds=3
+    )
+    emit("Figure 6: revenue under attack", fig06_unreliable.format_rows(result))
+    rel = result["relative_revenue"]
+    degrees = sorted(rel)
+    for m in MECHANISMS:
+        if m == "fifl":
+            continue
+        # every baseline declines monotonically with attack degree
+        series = [rel[d][m] for d in degrees]
+        assert all(a > b for a, b in zip(series, series[1:]))
+    # paper headline: at 0.385 FIFL outperforms every baseline by > 40%
+    for m, gain in result["fifl_outperforms_by"][0.385].items():
+        assert gain > 40.0, m

@@ -1,0 +1,35 @@
+"""Regenerates Figure 7: attacker damage on the MNIST-like task."""
+
+from repro.experiments import fig07_attack_damage as f7
+
+from conftest import emit, run_once
+
+
+def _final(series):
+    return next(v for v in reversed(series) if v is not None)
+
+
+def bench_fig07a_intensity(benchmark):
+    result = run_once(benchmark, f7.run_intensity_sweep)
+    curves = result["curves"]
+    emit(
+        "Figure 7(a): sign-flip intensity sweep",
+        [f"p_s={p:>5.1f}  final_acc={_final(s):.3f}" for p, s in curves.items()],
+    )
+    finals = {p: _final(s) for p, s in curves.items()}
+    # damage grows with intensity; p_s >= 8 crashes to near-chance
+    assert finals[0.0] > finals[4.0] > finals[6.0] > finals[8.0]
+    assert finals[10.0] < 0.2
+
+
+def bench_fig07b_attacker_types(benchmark):
+    result = run_once(benchmark, f7.run_type_comparison)
+    curves = result["curves"]
+    emit(
+        "Figure 7(b): attacker types",
+        [f"{name:>12}  final_acc={_final(s):.3f}" for name, s in curves.items()],
+    )
+    finals = {k: _final(s) for k, s in curves.items()}
+    # sign-flip hurts more than data-poison; joint is the worst
+    assert finals["none"] > finals["data_poison"] > finals["sign_flip"]
+    assert finals["joint"] <= finals["sign_flip"]

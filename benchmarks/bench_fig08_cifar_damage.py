@@ -1,0 +1,22 @@
+"""Regenerates Figure 8: attacker damage on the CIFAR10-like task."""
+
+from repro.experiments import fig08_cifar_damage as f8
+
+from conftest import emit, run_once
+
+
+def _final(series):
+    return next(v for v in reversed(series) if v is not None)
+
+
+def bench_fig08_cifar(benchmark):
+    # reduced rounds keep the bench under a minute; the shape is identical
+    cfg = f8.default_config().scaled(rounds=24, eval_every=4)
+    result = run_once(benchmark, f8.run, cfg)
+    emit("Figure 8: CIFAR10-like damage", f8.format_rows(result))
+    acc = {k: _final(s) for k, s in result["accuracy"].items()}
+    loss = {k: _final(s) for k, s in result["loss"].items()}
+    assert acc["none"] > acc["data_poison"] > acc["sign_flip"]
+    assert acc["joint"] <= acc["data_poison"]
+    # loss ordering mirrors accuracy
+    assert loss["none"] < loss["sign_flip"]

@@ -1,0 +1,34 @@
+"""Regenerates Figure 9: detection threshold sweep and TP/TN trade-off."""
+
+from repro.experiments import fig09_detection as f9
+
+from conftest import emit, run_once
+
+
+def bench_fig09a_accuracy_sweep(benchmark):
+    result = run_once(benchmark, f9.run_accuracy_sweep)
+    emit(
+        "Figure 9(a): detection accuracy sweep",
+        f9.format_rows(result, {"tp_rate": {}, "tn_rate": {}})[:7],
+    )
+    for s_y, by_rate in result["accuracy"].items():
+        rates = sorted(by_rate)
+        # accuracy (weakly) increases with deviation degree
+        assert by_rate[rates[-1]] >= by_rate[rates[0]] - 0.02
+    assert all(v == 1.0 for v in result["sign_flip_tn_rate"].values())
+
+
+def bench_fig09b_tradeoff(benchmark):
+    result = run_once(benchmark, f9.run_tradeoff)
+    emit(
+        "Figure 9(b): TP/TN trade-off",
+        [
+            f"S_y={s:.2f}  honest-accept={result['tp_rate'][s]:.3f}  "
+            f"attacker-reject={result['tn_rate'][s]:.3f}"
+            for s in result["tp_rate"]
+        ],
+    )
+    thresholds = sorted(result["tp_rate"])
+    lo, hi = thresholds[0], thresholds[-1]
+    assert result["tp_rate"][hi] <= result["tp_rate"][lo]
+    assert result["tn_rate"][hi] >= result["tn_rate"][lo]

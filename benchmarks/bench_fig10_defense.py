@@ -1,0 +1,18 @@
+"""Regenerates Figure 10: the detection module prevents model crash."""
+
+from repro.experiments import fig10_defense as f10
+
+from conftest import emit, run_once
+
+
+def _final(series):
+    return next(v for v in reversed(series) if v is not None)
+
+
+def bench_fig10_defense(benchmark):
+    result = run_once(benchmark, f10.run)
+    emit("Figure 10: defended vs undefended", f10.format_rows(result))
+    acc = {k: _final(s) for k, s in result["accuracy"].items()}
+    # the undefended model crashes; the defended one matches clean training
+    assert acc["undefended"] < 0.3
+    assert acc["defended"] > 0.9 * acc["clean"]

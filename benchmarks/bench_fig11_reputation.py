@@ -1,0 +1,18 @@
+"""Regenerates Figure 11: reputation tracks attack probability."""
+
+from repro.experiments import fig11_reputation as f11
+
+from conftest import emit, run_once
+
+
+def bench_fig11_reputation(benchmark):
+    result = run_once(benchmark, f11.run)
+    emit("Figure 11: reputation vs p_a", f11.format_rows(result))
+    tails = result["tail_means"]
+    probs = sorted(tails)
+    values = [tails[p] for p in probs]
+    # reputations strictly ordered by trustworthiness ...
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # ... and near the Theorem-1 fixed point 1 - p_a
+    for p_a, mean in tails.items():
+        assert abs(mean - (1.0 - p_a)) < 0.2

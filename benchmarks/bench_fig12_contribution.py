@@ -1,0 +1,16 @@
+"""Regenerates Figure 12: contribution separates workers by quality."""
+
+from repro.experiments import fig12_contribution as f12
+
+from conftest import emit, run_once
+
+
+def bench_fig12_contribution(benchmark):
+    result = run_once(benchmark, f12.run)
+    emit("Figure 12: contribution by p_d", f12.format_rows(result))
+    means = result["means"]
+    rates = sorted(means)
+    values = [means[r] for r in rates]
+    # contribution strictly ordered by data quality; threshold worker at 0
+    assert all(a > b for a, b in zip(values, values[1:]))
+    assert abs(means[result["threshold_rate"]]) < 0.05

@@ -1,0 +1,14 @@
+"""Regenerates Figure 13: cumulative rewards/punishments by quality."""
+
+from repro.experiments import fig13_cumulative_rewards as f13
+
+from conftest import emit, run_once
+
+
+def bench_fig13_cumulative_rewards(benchmark):
+    result = run_once(benchmark, f13.run)
+    emit("Figure 13: cumulative rewards by p_d", f13.format_rows(result))
+    finals = result["finals"]
+    # above-threshold workers rewarded, below-threshold punished, ordered
+    assert finals[0.0] > finals[0.1] > 0
+    assert 0 > finals[0.3] > finals[0.4]

@@ -1,0 +1,16 @@
+"""Regenerates Figure 14: punishments grow with attack intensity."""
+
+from repro.experiments import fig14_punishments as f14
+
+from conftest import emit, run_once
+
+
+def bench_fig14_punishments(benchmark):
+    result = run_once(benchmark, f14.run)
+    emit("Figure 14: punishments by p_s", f14.format_rows(result))
+    finals = result["finals"]
+    intensities = sorted(finals)
+    values = [finals[p] for p in intensities]
+    assert all(v < 0 for v in values)
+    # punishment magnitude strictly increases with attack intensity
+    assert all(a > b for a, b in zip(values, values[1:]))

@@ -1,0 +1,74 @@
+"""Extension: sample-count inflation fraud (the paper's S5.2 discussion).
+
+"Workers may deliberately exaggerate the number of their samples to
+obtain excess rewards ... FIFL's gradient-based contribution can avoid
+fraud from workers." One worker claims 10x its real data; we compare the
+reward share each mechanism pays it against the honest-claim counterfactual.
+"""
+
+import numpy as np
+
+from repro.core import BASELINE_WEIGHTS
+from repro.market import measure_fifl_weights
+
+from conftest import emit, run_once
+
+TRUE_SAMPLES = np.array([1200, 2400, 3600, 4800, 6000, 7200], dtype=np.int64)
+LIAR = 3  # worker claiming inflated data (above FIFL's free-rider guard)
+INFLATION = 10
+
+
+def _shares(claimed: np.ndarray, seed: int = 0) -> dict[str, np.ndarray]:
+    out = {}
+    for name, fn in BASELINE_WEIGHTS.items():
+        w = np.asarray(fn(claimed.astype(float)), dtype=float)
+        out[name] = w / w.sum()
+    # FIFL measures gradients produced from the TRUE data (the liar cannot
+    # fabricate samples it does not have); the claim only reaches the
+    # aggregation weights, mirroring the live mechanism.
+    true_samples = TRUE_SAMPLES.copy()
+    fifl = measure_fifl_weights(true_samples, seed=seed, n_probe_rounds=4)
+    total = fifl.sum()
+    out["fifl"] = fifl / total if total > 0 else fifl
+    return out
+
+
+def _sweep():
+    honest_claim = TRUE_SAMPLES.copy()
+    inflated_claim = TRUE_SAMPLES.copy()
+    inflated_claim[LIAR] *= INFLATION
+    honest = _shares(honest_claim)
+    inflated = _shares(inflated_claim)
+    gains = {
+        m: (inflated[m][LIAR] - honest[m][LIAR]) / max(honest[m][LIAR], 1e-12)
+        for m in honest
+    }
+    return {
+        "honest_share": {m: float(honest[m][LIAR]) for m in honest},
+        "inflated_share": {m: float(inflated[m][LIAR]) for m in inflated},
+        "relative_gain": {m: float(g) for m, g in gains.items()},
+    }
+
+
+def bench_fraud_sample_inflation(benchmark):
+    result = run_once(benchmark, _sweep)
+    emit(
+        f"Fraud: worker {LIAR} claims {INFLATION}x its data",
+        [
+            f"{m:>12}  honest={result['honest_share'][m]:.4f}  "
+            f"inflated={result['inflated_share'][m]:.4f}  "
+            f"gain={100 * result['relative_gain'][m]:+.1f}%"
+            for m in result["honest_share"]
+        ],
+    )
+    gains = result["relative_gain"]
+    # every claims-trusting baseline overpays the liar ...
+    for m in ("individual", "union", "shapley"):
+        assert gains[m] > 0.1, m
+    assert gains["union"] > 1.0  # marginal utility is the most gameable
+    # ... Equal is immune by construction (1/N), and FIFL by design
+    assert abs(gains["equal"]) < 1e-9
+    assert abs(gains["fifl"]) < 1e-9
+    # and FIFL's immunity is not vacuous: it pays the (honest-quality)
+    # liar a real share either way
+    assert result["honest_share"]["fifl"] > 0.05

@@ -1,0 +1,20 @@
+"""Extension: detection robustness to non-iid data (S4.1's premise)."""
+
+from repro.experiments import noniid
+
+from conftest import emit, run_once
+
+
+def bench_noniid_detection(benchmark):
+    result = run_once(benchmark, noniid.run)
+    emit("Detection under non-iid data", noniid.format_rows(result))
+    by_alpha = result["by_alpha"]
+    alphas = sorted(by_alpha, reverse=True)  # mild -> extreme skew
+    # near-iid data: detection is essentially perfect
+    assert by_alpha[alphas[0]]["honest_false_reject"] < 0.05
+    assert by_alpha[alphas[0]]["attacker_reject"] > 0.95
+    # the premise degrades monotonically as skew grows
+    fr = [by_alpha[a]["honest_false_reject"] for a in alphas]
+    assert all(a <= b + 1e-9 for a, b in zip(fr, fr[1:]))
+    # even at extreme skew the attackers are mostly caught
+    assert by_alpha[alphas[-1]]["attacker_reject"] > 0.6

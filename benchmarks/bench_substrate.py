@@ -1,0 +1,52 @@
+"""Microbenchmarks of the NumPy NN substrate's hot paths.
+
+These are true timing benchmarks (multiple rounds): conv forward/backward
+via im2col, a LeNet training step, and gradient flatten/slice plumbing —
+the operations every federated round is made of.
+"""
+
+import numpy as np
+
+from repro.fl import fedavg, recombine, split_gradient
+from repro.nn import SoftmaxCrossEntropy, build_lenet
+
+from conftest import emit
+
+
+def bench_lenet_training_step(benchmark):
+    model = build_lenet(num_classes=10, image_size=28, seed=0)
+    loss_fn = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 1, 28, 28))
+    y = rng.integers(0, 10, size=32)
+
+    def step():
+        loss_fn(model.forward(x, training=True), y)
+        model.backward(loss_fn.backward())
+        model.apply_flat_grads(model.get_flat_grads(), lr=0.01)
+
+    benchmark(step)
+    emit("Substrate: LeNet(28x28) batch-32 train step", [f"params={model.num_params}"])
+
+
+def bench_gradient_slicing_roundtrip(benchmark):
+    rng = np.random.default_rng(1)
+    grad = rng.normal(size=100_000)
+
+    def roundtrip():
+        return recombine(split_gradient(grad, 8))
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, grad)
+
+
+def bench_fedavg_aggregation(benchmark):
+    rng = np.random.default_rng(2)
+    grads = [rng.normal(size=100_000) for _ in range(20)]
+    weights = rng.integers(1, 10_000, size=20).astype(float)
+
+    def agg():
+        return fedavg(grads, weights)
+
+    out = benchmark(agg)
+    assert out.shape == (100_000,)

@@ -1,0 +1,24 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one paper figure: it runs the experiment driver
+once (``benchmark.pedantic`` with a single round — these are end-to-end
+experiments, not microbenchmarks) and prints the same rows/series the
+paper reports so the output is the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+    )
+
+
+def emit(title: str, rows: list[str]) -> None:
+    """Print a figure's reproduction rows (shown with pytest -s)."""
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print(row)

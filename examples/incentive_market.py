@@ -1,0 +1,71 @@
+"""Incentive market: which mechanism attracts the best workers?
+
+Reproduces the paper's S5.2 storyline at example scale: 20 workers with
+uniformly random data holdings pick among five federations (FIFL and the
+four baselines) in proportion to the rewards each would pay them. We then
+report each mechanism's market share, revenue, and what happens once
+38.5% of the population turns malicious.
+
+Run:  python examples/incentive_market.py
+"""
+
+import numpy as np
+
+from repro.core import shapley_weights, union_weights
+from repro.market import MECHANISMS, MarketConfig, MarketSimulator
+
+SEED = 7
+
+
+def main():
+    sim = MarketSimulator(
+        MarketConfig(repetitions=8, iterations=100, fifl_probe_rounds=3),
+        seed=SEED,
+    )
+
+    # -- one concrete population, inspected closely --------------------------
+    rng = np.random.default_rng(SEED)
+    samples = sim.draw_population(rng)
+    shares = sim.mechanism_weights(samples, seed=SEED)
+    print("population (sample counts):", sorted(samples.tolist()))
+    print("\nreward shares by mechanism (workers sorted by quality):")
+    order = np.argsort(samples)
+    header = "samples " + " ".join(f"{m:>11}" for m in MECHANISMS)
+    print(header)
+    for idx in order:
+        cells = " ".join(f"{shares[m][idx]:>11.4f}" for m in MECHANISMS)
+        print(f"{samples[idx]:>7d} {cells}")
+
+    # sanity: exact Shapley vs Union on this population
+    phis = shapley_weights(samples.astype(float))
+    marg = union_weights(samples.astype(float))
+    print(
+        f"\nShapley efficiency check: sum(phi)={phis.sum():.6f} "
+        f"== Psi(total)={np.log1p(samples.sum()):.6f}"
+    )
+    print(f"Union marginals sum to {marg.sum():.6f} (< Shapley sum: no efficiency)")
+
+    # -- full market simulation (Fig. 5) -------------------------------------
+    out = sim.simulate_market()
+    print("\nmarket results (greedy joining, averaged over repetitions):")
+    print(f"{'mechanism':>12} {'data share':>11} {'revenue vs FIFL':>16}")
+    for m in MECHANISMS:
+        print(
+            f"{m:>12} {out.data_share[m]:>11.4f} "
+            f"{out.relative_revenue[m]:>15.2f}%"
+        )
+
+    # -- the same market with attackers (Fig. 6) ------------------------------
+    rel = sim.unreliable_revenues(attack_degrees=(0.15, 0.385), repetitions=8)
+    print("\nwith 38.5% unreliable workers (revenue relative to FIFL):")
+    for degree, row in rel.items():
+        cells = "  ".join(f"{m}={row[m]:+.1f}%" for m in MECHANISMS)
+        print(f"  attack degree {degree}: {cells}")
+
+    worst = min(rel[0.385][m] for m in MECHANISMS if m != "fifl")
+    assert worst < -30.0
+    print("\nOK: FIFL's detection keeps its federation profitable under attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs must go through `setup.py develop`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,171 @@
+"""In-process message-passing substrate with MPI-style semantics.
+
+The paper's polycentric FL protocol moves gradient *slices* between
+workers and servers (S3.2 steps 1.3/1.4). We reproduce that protocol over
+an in-process network that keeps MPI's send/recv/bcast/gather vocabulary
+(mirroring how a multi-node deployment would be written with mpi4py) while
+adding two things the experiments need:
+
+* **failure injection** — each link can drop messages with a configured
+  probability; drops surface as the SLM reputation module's *uncertain
+  events* (S4.2);
+* **byte accounting** — every delivered payload's size is tallied per
+  link, so the communication-overhead ablations can compare centralized,
+  polycentric, and decentralized architectures quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "DropLog", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    nbytes: int
+
+
+@dataclass
+class DropLog:
+    """Record of messages lost to injected link failures."""
+
+    drops: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def count(self, src: int | None = None, dst: int | None = None) -> int:
+        return sum(
+            1
+            for s, d, _ in self.drops
+            if (src is None or s == src) and (dst is None or d == dst)
+        )
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort size of a payload in bytes (arrays dominate in FL)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    return 0
+
+
+class Network:
+    """A set of nodes exchanging tagged messages over lossy links.
+
+    Nodes are integer ranks ``0..num_nodes-1``. Messages are queued per
+    ``(dst, src, tag)`` so receives are deterministic FIFO per link+tag.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        drop_prob: float = 0.0,
+        seed: int = 0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must be in [0, 1)")
+        self.num_nodes = num_nodes
+        self.default_drop_prob = drop_prob
+        self._link_drop: dict[tuple[int, int], float] = {}
+        self._rng = np.random.default_rng(seed)
+        self._queues: dict[tuple[int, int, str], deque[Message]] = defaultdict(deque)
+        self.drop_log = DropLog()
+        self.bytes_sent: dict[tuple[int, int], int] = defaultdict(int)
+        self.messages_delivered = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def set_link_drop_prob(self, src: int, dst: int, prob: float) -> None:
+        """Override drop probability for one directed link."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        self._link_drop[(src, dst)] = prob
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_nodes:
+            raise ValueError(f"rank {rank} outside [0, {self.num_nodes})")
+
+    def _drop_prob(self, src: int, dst: int) -> float:
+        return self._link_drop.get((src, dst), self.default_drop_prob)
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, src: int, dst: int, tag: str, payload: Any) -> bool:
+        """Send one message; returns False if the link dropped it."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        p = self._drop_prob(src, dst)
+        if p > 0.0 and self._rng.random() < p:
+            self.drop_log.drops.append((src, dst, tag))
+            return False
+        nbytes = _payload_nbytes(payload)
+        self._queues[(dst, src, tag)].append(Message(src, dst, tag, payload, nbytes))
+        self.bytes_sent[(src, dst)] += nbytes
+        return True
+
+    def recv(self, dst: int, src: int, tag: str) -> Message | None:
+        """Pop the oldest message on (src -> dst, tag); None if empty."""
+        self._check_rank(dst)
+        self._check_rank(src)
+        queue = self._queues.get((dst, src, tag))
+        if not queue:
+            return None
+        self.messages_delivered += 1
+        return queue.popleft()
+
+    def pending(self, dst: int, src: int, tag: str) -> int:
+        """Number of undelivered messages on a link+tag."""
+        return len(self._queues.get((dst, src, tag), ()))
+
+    # -- collectives (MPI vocabulary over the same lossy links) ---------------
+
+    def bcast(self, src: int, dsts: list[int], tag: str, payload: Any) -> list[int]:
+        """Send payload to each destination; returns ranks actually reached."""
+        return [d for d in dsts if self.send(src, d, tag, payload)]
+
+    def gather(self, dst: int, srcs: list[int], tag: str) -> dict[int, Any]:
+        """Collect one pending message per source; missing sources omitted."""
+        out: dict[int, Any] = {}
+        for s in srcs:
+            msg = self.recv(dst, s, tag)
+            if msg is not None:
+                out[s] = msg.payload
+        return out
+
+    def scatter(
+        self, src: int, parts: dict[int, Any], tag: str
+    ) -> list[int]:
+        """Send a distinct payload to each destination rank."""
+        return [d for d, payload in parts.items() if self.send(src, d, tag, payload)]
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total bytes accepted onto all links."""
+        return sum(self.bytes_sent.values())
+
+    def reset_stats(self) -> None:
+        """Clear byte/drop accounting but keep queued messages."""
+        self.bytes_sent.clear()
+        self.drop_log = DropLog()
+        self.messages_delivered = 0

@@ -1,0 +1,92 @@
+"""Communication topologies for the three FL architectures (paper S3.2).
+
+Built on networkx so the per-architecture structure (who talks to whom)
+can be analyzed — link counts drive the communication-overhead ablation —
+and validated: the trainer asserts every (worker, server) exchange it
+performs corresponds to an edge.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = [
+    "centralized_topology",
+    "decentralized_topology",
+    "polycentric_topology",
+    "link_count",
+    "validate_roles",
+]
+
+
+def centralized_topology(num_workers: int) -> nx.Graph:
+    """Star: one dedicated server (node 0) and ``num_workers`` workers.
+
+    The paper's M=1 case, with the server being one of the devices.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    g = nx.Graph(architecture="centralized")
+    g.add_node(0, role="server")
+    for w in range(num_workers):
+        g.add_node(w, role="server+worker" if w == 0 else "worker")
+        if w != 0:
+            g.add_edge(0, w)
+    return g
+
+
+def decentralized_topology(num_workers: int) -> nx.Graph:
+    """Complete graph: every device is both a worker and a 1/N server (M=N)."""
+    if num_workers < 2:
+        raise ValueError("decentralized needs at least two workers")
+    g = nx.complete_graph(num_workers)
+    g.graph["architecture"] = "decentralized"
+    for n in g.nodes:
+        g.nodes[n]["role"] = "server+worker"
+    return g
+
+
+def polycentric_topology(num_workers: int, server_ranks: list[int]) -> nx.Graph:
+    """Polycentric: servers are a subset of workers (S ⊂ W, paper Fig. 1).
+
+    Every worker is connected to every server (workers send slice j to
+    server j and download global slices back).
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    servers = sorted(set(server_ranks))
+    if not servers:
+        raise ValueError("need at least one server")
+    if servers[0] < 0 or servers[-1] >= num_workers:
+        raise ValueError("server ranks must be valid worker ranks (S ⊂ W)")
+    g = nx.Graph(architecture="polycentric")
+    for w in range(num_workers):
+        g.add_node(w, role="server+worker" if w in servers else "worker")
+    for s in servers:
+        for w in range(num_workers):
+            if w != s:
+                g.add_edge(s, w)
+    return g
+
+
+def link_count(g: nx.Graph) -> int:
+    """Number of physical links the architecture requires."""
+    return g.number_of_edges()
+
+
+def validate_roles(g: nx.Graph) -> tuple[list[int], list[int]]:
+    """Return (servers, workers) node lists; raise if any node lacks a role."""
+    servers, workers = [], []
+    for n, data in g.nodes(data=True):
+        role = data.get("role")
+        if role is None:
+            raise ValueError(f"node {n} has no role attribute")
+        if "server" in role:
+            servers.append(n)
+        if "worker" in role:
+            workers.append(n)
+    if not servers:
+        raise ValueError("topology has no servers")
+    if not workers:
+        raise ValueError("topology has no workers")
+    return sorted(servers), sorted(workers)

@@ -1,0 +1,83 @@
+"""FIFL core: the paper's incentive mechanism and its four modules."""
+
+from .baselines import (
+    BASELINE_WEIGHTS,
+    equal_weights,
+    individual_weights,
+    shapley_enumeration,
+    shapley_montecarlo,
+    shapley_sum_dp,
+    shapley_weights,
+    union_weights,
+)
+from .contribution import (
+    contributions,
+    gradient_distance,
+    normalized_shares,
+    reference_baseline,
+    sliced_distance,
+    zero_baseline,
+)
+from .detection import (
+    AttackDetector,
+    DetectionConfig,
+    classify,
+    detection_scores,
+    server_score,
+)
+from .fifl import FIFLConfig, FIFLMechanism, FIFLRoundRecord
+from .incentive import allocate_rewards, fairness_coefficient, reward_shares
+from .loss_detection import LossBasedDetector
+from .reputation import DecayReputation, SLMReputation, theorem1_fixed_point
+from .robust import (
+    KrumMechanism,
+    MedianMechanism,
+    coordinate_median,
+    krum,
+    trimmed_mean,
+)
+from .selection import probe_selection, reputation_selection
+from .utility import federation_revenue, marginal_utility, system_revenue, utility
+
+__all__ = [
+    "AttackDetector",
+    "DetectionConfig",
+    "classify",
+    "detection_scores",
+    "server_score",
+    "SLMReputation",
+    "DecayReputation",
+    "theorem1_fixed_point",
+    "contributions",
+    "gradient_distance",
+    "sliced_distance",
+    "zero_baseline",
+    "reference_baseline",
+    "normalized_shares",
+    "reward_shares",
+    "allocate_rewards",
+    "fairness_coefficient",
+    "individual_weights",
+    "equal_weights",
+    "union_weights",
+    "shapley_weights",
+    "shapley_sum_dp",
+    "shapley_enumeration",
+    "shapley_montecarlo",
+    "BASELINE_WEIGHTS",
+    "utility",
+    "federation_revenue",
+    "marginal_utility",
+    "system_revenue",
+    "FIFLConfig",
+    "FIFLMechanism",
+    "FIFLRoundRecord",
+    "probe_selection",
+    "reputation_selection",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum",
+    "KrumMechanism",
+    "MedianMechanism",
+    "LossBasedDetector",
+]

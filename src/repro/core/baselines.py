@@ -1,0 +1,211 @@
+"""Baseline incentive mechanisms (paper S5.1, Eq. 18-22).
+
+Every baseline maps per-worker *claimed* sample counts to reward weights
+``ω_i``; worker ``i``'s reward is ``ω_i / Σω_j · I_sum`` (Eq. 18). The
+utility function throughout is ``Ψ(n) = log(1 + n)``.
+
+* Individual (Eq. 19): ``ω_i = Ψ(n_i)`` — independent-training utility.
+* Equal (Eq. 20): ``ω_i = 1/N`` — the egalitarian payoff.
+* Union (Eq. 21): ``ω_i = Ψ(A) - Ψ(A \\ {i})`` — marginal utility.
+* Shapley (Eq. 22): average marginal utility over all join orders.
+
+Shapley values are exact where tractable: because Ψ only depends on the
+*sum* of samples in a coalition, a subset-sum dynamic program computes
+exact values for any N with integer sample counts
+(:func:`shapley_sum_dp`). For general utility functions there is exact
+enumeration for small N and a permutation-sampling estimator otherwise.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "individual_weights",
+    "equal_weights",
+    "union_weights",
+    "shapley_weights",
+    "shapley_sum_dp",
+    "shapley_enumeration",
+    "shapley_montecarlo",
+    "BASELINE_WEIGHTS",
+]
+
+
+def _check_samples(samples: np.ndarray) -> np.ndarray:
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("samples must be a non-empty 1-D vector")
+    if (samples < 0).any():
+        raise ValueError("sample counts must be non-negative")
+    return samples
+
+
+def _psi(n):
+    return np.log1p(n)
+
+
+def individual_weights(samples: np.ndarray) -> np.ndarray:
+    """Eq. 19: ``ω_i = Ψ(n_i)``."""
+    return _psi(_check_samples(samples))
+
+
+def equal_weights(num_workers: int) -> np.ndarray:
+    """Eq. 20: ``ω_i = 1/N``."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    return np.full(num_workers, 1.0 / num_workers)
+
+
+def union_weights(samples: np.ndarray) -> np.ndarray:
+    """Eq. 21: ``ω_i = Ψ(A) - Ψ(A \\ {i})`` (vectorized over workers)."""
+    samples = _check_samples(samples)
+    total = samples.sum()
+    return _psi(total) - _psi(total - samples)
+
+
+# -- Shapley value -----------------------------------------------------------
+
+
+def shapley_sum_dp(samples: np.ndarray) -> np.ndarray:
+    """Exact Shapley values for the sum-utility ``Ψ(Σ n)`` via subset-sum DP.
+
+    ``count[k][s]`` counts the subsets of the *other* workers with size
+    ``k`` and sample-sum ``s``; the Shapley value is then
+
+        φ_i = Σ_k  (k! (N-1-k)! / N!) Σ_s count[k][s] (Ψ(s + n_i) - Ψ(s)).
+
+    Counts are integers below C(19,9) for the paper's N = 20, exact in
+    float64. Removing worker ``i`` from the all-workers DP uses the
+    standard deconvolution ``without[k][s] = all[k][s] - without[k-1][s - n_i]``,
+    also exact in integer arithmetic.
+    """
+    samples = _check_samples(samples)
+    if not np.allclose(samples, np.round(samples)):
+        raise ValueError("subset-sum DP needs integer sample counts")
+    n_int = samples.astype(np.int64)
+    n = n_int.size
+    total = int(n_int.sum())
+
+    # DP over all workers: counts[k, s]
+    counts = np.zeros((n + 1, total + 1))
+    counts[0, 0] = 1.0
+    for ni in n_int:
+        # iterate sizes downward so each worker is used at most once
+        if ni == 0:
+            counts[1:, :] += counts[:-1, :]
+        else:
+            counts[1:, ni:] += counts[:-1, :-ni]
+
+    psi_table = _psi(np.arange(total + 1, dtype=np.float64))
+    phis = np.empty(n)
+    for i, ni in enumerate(n_int):
+        # Deconvolve worker i out of the DP.
+        without = np.zeros((n, total + 1))
+        without[0] = counts[0, : total + 1]
+        for k in range(1, n):
+            if ni == 0:
+                without[k] = counts[k] - without[k - 1]
+            else:
+                shifted = np.zeros(total + 1)
+                shifted[ni:] = without[k - 1, :-ni]
+                without[k] = counts[k] - shifted
+        # Marginal gains by coalition size.
+        gain = np.zeros(total + 1)
+        gain[: total + 1 - ni] = (
+            psi_table[ni : total + 1] - psi_table[: total + 1 - ni]
+        ) if ni > 0 else 0.0
+        phi = 0.0
+        for k in range(n):
+            weight = 1.0 / (n * comb(n - 1, k))
+            phi += weight * float(without[k] @ gain)
+        phis[i] = phi
+    return phis
+
+
+def shapley_enumeration(
+    samples: np.ndarray, utility_fn: Callable[[float], float] | None = None
+) -> np.ndarray:
+    """Exact Shapley by enumerating subsets; O(2^N), for N <= 15."""
+    samples = _check_samples(samples)
+    n = samples.size
+    if n > 15:
+        raise ValueError("enumeration is limited to N <= 15 workers")
+    psi = utility_fn if utility_fn is not None else (lambda s: float(_psi(s)))
+    phis = np.zeros(n)
+    others = list(range(n))
+    for i in range(n):
+        rest = [j for j in others if j != i]
+        for k in range(n):
+            weight = 1.0 / (n * comb(n - 1, k))
+            for subset in combinations(rest, k):
+                s = samples[list(subset)].sum() if subset else 0.0
+                phis[i] += weight * (psi(s + samples[i]) - psi(s))
+    return phis
+
+
+def shapley_montecarlo(
+    samples: np.ndarray,
+    utility_fn: Callable[[float], float] | None = None,
+    n_permutations: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Unbiased Shapley estimate by sampling join orders."""
+    samples = _check_samples(samples)
+    if n_permutations <= 0:
+        raise ValueError("n_permutations must be positive")
+    psi = utility_fn if utility_fn is not None else (lambda s: float(_psi(s)))
+    n = samples.size
+    rng = np.random.default_rng(seed)
+    phis = np.zeros(n)
+    for _ in range(n_permutations):
+        order = rng.permutation(n)
+        running = 0.0
+        before = psi(0.0)
+        for j in order:
+            running += samples[j]
+            after = psi(running)
+            phis[j] += after - before
+            before = after
+    return phis / n_permutations
+
+
+def shapley_weights(
+    samples: np.ndarray,
+    method: str = "auto",
+    n_permutations: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Eq. 22 weights, dispatching to the best available exact method.
+
+    ``auto`` uses the subset-sum DP when counts are integers (exact for
+    any N), exact enumeration for small non-integer problems, and Monte
+    Carlo otherwise.
+    """
+    samples = _check_samples(samples)
+    if method == "auto":
+        if np.allclose(samples, np.round(samples)):
+            return shapley_sum_dp(samples)
+        if samples.size <= 12:
+            return shapley_enumeration(samples)
+        return shapley_montecarlo(samples, n_permutations=n_permutations, seed=seed)
+    if method == "dp":
+        return shapley_sum_dp(samples)
+    if method == "enum":
+        return shapley_enumeration(samples)
+    if method == "montecarlo":
+        return shapley_montecarlo(samples, n_permutations=n_permutations, seed=seed)
+    raise ValueError(f"unknown method {method!r}")
+
+
+#: Registry used by the market simulator: name -> samples-to-weights map.
+BASELINE_WEIGHTS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "individual": individual_weights,
+    "equal": lambda samples: equal_weights(len(samples)),
+    "union": union_weights,
+    "shapley": shapley_weights,
+}

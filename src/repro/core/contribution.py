@@ -1,0 +1,98 @@
+"""Contribution module: gradient-distance utility measurement (paper S4.3).
+
+A worker's instantaneous utility is measured by how close its local
+gradient lies to the unbiased global gradient (the β-smooth / μ-convex
+sandwich argument in S4.3 shows the loss of ``θ - G_i`` is bounded both
+ways by ``||G_i - G̃||²``). Concretely (Eq. 13-14):
+
+    b_i = ||G̃ - G_i||²          (summable over disjoint slices)
+    C_i = 1 - b_i / b_h
+
+where ``b_h`` is a baseline distance that fixes the zero-contribution
+level. Two baselines from the paper:
+
+* ``zero_baseline`` — ``b_h = ||G̃ - 0||² = ||G̃||²``: a free-rider
+  uploading zeros gets exactly C = 0 (Eq. 14's default);
+* ``reference_baseline`` — ``b_h = ||G̃ - G_ref||²`` for a designated
+  reference worker (S5.3.3 uses the p_d = 0.2 worker): anyone *better*
+  than the reference earns positive contribution, anyone worse is
+  punished, which prices low-quality workers out of the federation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gradient_distance",
+    "sliced_distance",
+    "zero_baseline",
+    "reference_baseline",
+    "contributions",
+    "normalized_shares",
+]
+
+
+def gradient_distance(global_grad: np.ndarray, worker_grad: np.ndarray) -> float:
+    """``b_i = ||G̃ - G_i||²`` (squared Euclidean, Eq. 13)."""
+    global_grad = np.asarray(global_grad, dtype=np.float64)
+    worker_grad = np.asarray(worker_grad, dtype=np.float64)
+    if global_grad.shape != worker_grad.shape:
+        raise ValueError(
+            f"gradient shapes differ: {global_grad.shape} vs {worker_grad.shape}"
+        )
+    diff = global_grad - worker_grad
+    return float(diff @ diff)
+
+
+def sliced_distance(
+    global_slices: dict[int, np.ndarray], worker_slices: dict[int, np.ndarray]
+) -> float:
+    """Eq. 13 as computed in the polycentric protocol: per-server distances
+    summed over servers. Because slices partition the vector, this equals
+    :func:`gradient_distance` on the recombined vectors exactly."""
+    if set(global_slices) != set(worker_slices):
+        raise ValueError("global and worker slices cover different servers")
+    if not global_slices:
+        raise ValueError("no slices")
+    return sum(
+        gradient_distance(global_slices[j], worker_slices[j]) for j in global_slices
+    )
+
+
+def zero_baseline(global_grad: np.ndarray) -> float:
+    """``b_h`` against the all-zeros gradient: ``||G̃||²``."""
+    global_grad = np.asarray(global_grad, dtype=np.float64)
+    return float(global_grad @ global_grad)
+
+
+def reference_baseline(global_grad: np.ndarray, reference_grad: np.ndarray) -> float:
+    """``b_h`` against a designated reference worker's gradient."""
+    return gradient_distance(global_grad, reference_grad)
+
+
+def contributions(distances: dict[int, float], b_h: float) -> dict[int, float]:
+    """Eq. 14: ``C_i = 1 - b_i / b_h`` for every worker.
+
+    Positive when the worker beats the baseline distance, negative when it
+    is worse (free-riders and low-quality workers).
+    """
+    if b_h <= 0.0:
+        raise ValueError(f"baseline distance b_h must be positive, got {b_h}")
+    for wid, b in distances.items():
+        if b < 0.0:
+            raise ValueError(f"negative distance for worker {wid}")
+    return {wid: 1.0 - b / b_h for wid, b in distances.items()}
+
+
+def normalized_shares(contribs: dict[int, float]) -> dict[int, float]:
+    """``C_i / sum_{C_j > 0} C_j`` — the contribution weight in Eq. 15.
+
+    Negative contributions keep their sign (they become punishments);
+    positive ones sum to exactly 1. If no contribution is positive every
+    share is 0 (nothing to distribute this round).
+    """
+    positive_total = sum(c for c in contribs.values() if c > 0.0)
+    if positive_total <= 0.0:
+        return {wid: 0.0 for wid in contribs}
+    return {wid: c / positive_total for wid, c in contribs.items()}

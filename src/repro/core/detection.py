@@ -1,0 +1,141 @@
+"""Attack detection module (paper S4.1).
+
+Each server ``j`` scores worker ``i``'s gradient slice against a benchmark
+slice — the server's *own* local gradient slice ``g_j^j`` (servers are
+workers too, S3.2) — and the global detection score sums the per-server
+scores (Eq. 6):
+
+    S_i = sum_j S_i^j,   S_i^j = <g_j^j, g_i^j>.
+
+The score is a first-order Taylor estimate of the loss reduction worker
+``i``'s gradient would produce (Eq. 5 -> <G, G_i>), so honest gradients
+score positive and sign-flipped/garbage gradients score negative or tiny.
+Workers with ``S_i < S_y`` are flagged Byzantine and excluded (Eq. 7).
+
+Two score modes are provided (DESIGN.md ablation #1):
+
+* ``"raw"`` — the literal inner product of Eq. 6. Its scale grows with
+  model size and gradient magnitude, so S_y must be re-tuned per task.
+* ``"cosine"`` — inner product normalized by both norms, giving a
+  scale-free score in [-1, 1]; the paper's quoted thresholds
+  (S_y ≈ 0.09–0.15) are only meaningful on such a normalized scale, so
+  this is the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DetectionConfig",
+    "server_score",
+    "detection_scores",
+    "classify",
+    "AttackDetector",
+]
+
+_MODES = ("raw", "cosine")
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Detection hyperparameters: threshold ``S_y`` and score mode."""
+
+    threshold: float = 0.0
+    mode: str = "cosine"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+
+
+def server_score(
+    benchmark: np.ndarray, candidate: np.ndarray, mode: str = "cosine"
+) -> float:
+    """One server's detection score ``S_i^j`` for a worker slice (Eq. 6)."""
+    benchmark = np.asarray(benchmark, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if benchmark.shape != candidate.shape:
+        raise ValueError(
+            f"slice shapes differ: {benchmark.shape} vs {candidate.shape}"
+        )
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    inner = float(benchmark @ candidate)
+    if mode == "raw":
+        return inner
+    denom = float(np.linalg.norm(benchmark) * np.linalg.norm(candidate))
+    if denom == 0.0:
+        # A zero slice carries no direction; it is neither aligned nor
+        # opposed to the benchmark.
+        return 0.0
+    return inner / denom
+
+
+def detection_scores(
+    slices: dict[int, dict[int, np.ndarray]],
+    benchmarks: dict[int, np.ndarray],
+    mode: str = "cosine",
+) -> dict[int, float]:
+    """Global scores ``S_i = sum_j S_i^j`` for every worker (Eq. 6).
+
+    Parameters
+    ----------
+    slices : ``worker_id -> {server_rank: slice}`` as delivered this round.
+    benchmarks : ``server_rank -> benchmark slice`` (the server's own
+        local gradient slice ``g_j^j``).
+    mode : score mode; in ``"cosine"`` mode the per-server scores are
+        averaged instead of summed so the global score stays in [-1, 1]
+        regardless of the number of servers.
+    """
+    if not benchmarks:
+        raise ValueError("need at least one server benchmark")
+    scores: dict[int, float] = {}
+    m = len(benchmarks)
+    for wid, parts in slices.items():
+        total = 0.0
+        counted = 0
+        for srv, bench in benchmarks.items():
+            if srv not in parts:
+                continue
+            if srv == wid and m > 1:
+                # A server never scores itself: its benchmark *is* its own
+                # slice (cosine exactly 1), which would let a malicious
+                # server vote itself honest. Peer servers score it instead;
+                # only the degenerate single-server case keeps self-scoring
+                # (the paper's M = 1 centralized setup trusts that server).
+                continue
+            total += server_score(bench, parts[srv], mode)
+            counted += 1
+        if counted == 0:
+            raise ValueError(f"worker {wid} delivered no slices to any server")
+        if mode == "cosine":
+            scores[wid] = total / counted
+        else:
+            # Raw scores over missing slices cannot be imputed; scale up
+            # so partial delivery is comparable to full delivery.
+            scores[wid] = total * (m / counted)
+    return scores
+
+
+def classify(scores: dict[int, float], threshold: float) -> dict[int, bool]:
+    """Eq. 7: ``r_i = 1`` (honest) iff ``S_i >= S_y``."""
+    return {wid: s >= threshold for wid, s in scores.items()}
+
+
+class AttackDetector:
+    """Stateless detector bundling scoring + thresholding for one config."""
+
+    def __init__(self, config: DetectionConfig | None = None):
+        self.config = config if config is not None else DetectionConfig()
+
+    def detect(
+        self,
+        slices: dict[int, dict[int, np.ndarray]],
+        benchmarks: dict[int, np.ndarray],
+    ) -> tuple[dict[int, float], dict[int, bool]]:
+        """Return ``(scores, r)`` for the delivered slices."""
+        scores = detection_scores(slices, benchmarks, self.config.mode)
+        return scores, classify(scores, self.config.threshold)

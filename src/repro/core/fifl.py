@@ -1,0 +1,332 @@
+"""The FIFL mechanism: detection → reputation → contribution → incentive.
+
+:class:`FIFLMechanism` plugs into :class:`repro.fl.FederatedTrainer` as its
+round mechanism and implements the full S4 pipeline each communication
+round:
+
+1. **Attack detection** — each server scores every delivered slice against
+   its own local slice ``g_j^j``; the summed score is thresholded by
+   ``S_y`` into ``r_i`` (Eq. 5-7). Rejected gradients never enter the
+   aggregate.
+2. **Reputation** — detection outcomes (and uncertain events for lost
+   uploads) feed the time-decayed reputation ``R_i`` (Eq. 10).
+3. **Contribution** — gradient distances to the filtered global gradient
+   give ``C_i`` against a baseline ``b_h`` (Eq. 13-14).
+4. **Incentive** — reward shares ``I_i = R_i · C_i / ΣC⁺`` (Eq. 15),
+   scaled by the round budget; punishments are negative rewards.
+
+Every round's intermediate results can be committed to a blockchain ledger
+(S4.5) for the audit protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fl.gradients import fedavg, recombine, split_gradient
+from ..fl.trainer import RoundContext, RoundDecision
+from .contribution import (
+    contributions,
+    gradient_distance,
+    reference_baseline,
+    zero_baseline,
+)
+from .detection import AttackDetector, DetectionConfig
+from .incentive import allocate_rewards, reward_shares
+from .reputation import DecayReputation, SLMReputation
+
+__all__ = ["FIFLRoundRecord", "FIFLMechanism"]
+
+
+@dataclass
+class FIFLRoundRecord:
+    """All per-round FIFL outputs, kept for experiments and audit."""
+
+    round_idx: int
+    scores: dict[int, float]
+    accepted: dict[int, bool]
+    reputations: dict[int, float]
+    distances: dict[int, float]
+    b_h: float | None
+    contribs: dict[int, float]
+    shares: dict[int, float]
+    rewards: dict[int, float]
+
+
+@dataclass
+class FIFLConfig:
+    """FIFL hyperparameters."""
+
+    detection: DetectionConfig = field(default_factory=DetectionConfig)
+    gamma: float = 0.1  # reputation time-decay factor (Eq. 10)
+    initial_reputation: float = 0.0
+    contribution_baseline: str = "zero"  # "zero" | "reference"
+    reference_worker: int | None = None  # required for "reference"
+    budget_per_round: float = 1.0  # I_sum(t)
+    punish_mode: str = "contribution"  # see incentive.reward_shares
+    # Two-pass contribution scoring: first-pass negative contributors are
+    # dropped from the aggregate and everyone is re-scored (S4.3's guard
+    # against low-quality gradients biasing the reference point).
+    contribution_filter: bool = False
+    # Reputation estimator: "decay" is the paper's Eq. 10 extension
+    # (FIFL's default); "slm" is the classic period-based subjective
+    # logic model of Eq. 8-9, with counts reset every slm_period rounds.
+    reputation_mode: str = "decay"
+    slm_period: int = 10
+    slm_alphas: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    # What G̃ in Eq. 13 is measured against: "aggregate" (the literal
+    # filtered global gradient) or "server_mean" (the mean of the trusted
+    # server cluster's own gradients, S4.5). With low-rate label noise on
+    # near-linear models the *norm* of a poisoned gradient shrinks, which
+    # drags the contaminated aggregate toward mid-poison workers and breaks
+    # the quality ordering; the trusted server mean does not have this
+    # failure mode (see EXPERIMENTS.md, Figs. 12-13).
+    contribution_reference: str = "aggregate"
+
+    def __post_init__(self) -> None:
+        if self.contribution_baseline not in ("zero", "reference"):
+            raise ValueError(
+                "contribution_baseline must be 'zero' or 'reference'"
+            )
+        if self.contribution_baseline == "reference" and self.reference_worker is None:
+            raise ValueError("reference baseline needs reference_worker")
+        if self.budget_per_round < 0:
+            raise ValueError("budget_per_round must be non-negative")
+        if self.contribution_reference not in ("aggregate", "server_mean"):
+            raise ValueError(
+                "contribution_reference must be 'aggregate' or 'server_mean'"
+            )
+        if self.reputation_mode not in ("decay", "slm"):
+            raise ValueError("reputation_mode must be 'decay' or 'slm'")
+        if self.slm_period <= 0:
+            raise ValueError("slm_period must be positive")
+
+
+class FIFLMechanism:
+    """Stateful FIFL round mechanism (implements ``RoundMechanism``)."""
+
+    def __init__(self, config: FIFLConfig | None = None, ledger=None):
+        self.config = config if config is not None else FIFLConfig()
+        self.detector = AttackDetector(self.config.detection)
+        self.reputation = DecayReputation(
+            gamma=self.config.gamma, initial=self.config.initial_reputation
+        )
+        a_t, a_n, a_u = self.config.slm_alphas
+        self.slm = SLMReputation(alpha_t=a_t, alpha_n=a_n, alpha_u=a_u)
+        self._rounds_seen = 0
+        self.ledger = ledger
+        self.records: list[FIFLRoundRecord] = []
+        self._cumulative_rewards: dict[int, float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _benchmarks(ctx: RoundContext) -> dict[int, np.ndarray]:
+        """Server j's own slice ``g_j^j`` is its benchmark (S4.1).
+
+        Servers are workers (S ⊂ W), so each server holds its local
+        gradient *locally* — it does not depend on the lossy network to
+        deliver its own slice to itself. The benchmark is sliced directly
+        from the server's own update.
+        """
+        benchmarks = {}
+        m = len(ctx.server_ranks)
+        for j, srv in enumerate(ctx.server_ranks):
+            upd = ctx.updates.get(srv)
+            if upd is None:
+                continue
+            benchmarks[srv] = split_gradient(upd.gradient, m)[j]
+        if not benchmarks:
+            raise RuntimeError(
+                "no server produced a local gradient; cannot detect"
+            )
+        return benchmarks
+
+    @staticmethod
+    def _filtered_global_gradient(
+        ctx: RoundContext, accepted: dict[int, bool]
+    ) -> np.ndarray | None:
+        """Aggregate accepted slices into G̃ exactly as the trainer will."""
+        accepted_ids = [w for w in sorted(ctx.slices) if accepted.get(w, False)]
+        if not accepted_ids:
+            return None
+        weights = [ctx.sample_counts[w] for w in accepted_ids]
+        agg = []
+        for srv in ctx.server_ranks:
+            agg.append(fedavg([ctx.slices[w][srv] for w in accepted_ids], weights))
+        return recombine(agg)
+
+    @staticmethod
+    def _server_mean_gradient(ctx: RoundContext) -> np.ndarray | None:
+        """Mean of the server cluster's own full gradients (trusted ref)."""
+        grads = [
+            ctx.updates[srv].gradient
+            for srv in ctx.server_ranks
+            if srv in ctx.updates
+        ]
+        if not grads:
+            return None
+        return np.mean(grads, axis=0)
+
+    def _score_contributions(
+        self, global_grad: np.ndarray, full_grads: dict[int, np.ndarray]
+    ) -> tuple[dict[int, float], float | None, dict[int, float]]:
+        """Distances, baseline b_h, and contributions against one G̃."""
+        distances = {
+            w: gradient_distance(global_grad, g) for w, g in full_grads.items()
+        }
+        if (
+            self.config.contribution_baseline == "reference"
+            and self.config.reference_worker in full_grads
+        ):
+            b_h = reference_baseline(
+                global_grad, full_grads[self.config.reference_worker]
+            )
+        else:
+            b_h = zero_baseline(global_grad)
+        if b_h > 0.0:
+            return distances, b_h, contributions(distances, b_h)
+        return distances, None, {w: 0.0 for w in distances}
+
+    # -- main entry point --------------------------------------------------------
+
+    def process_round(self, ctx: RoundContext) -> RoundDecision:
+        # 1) attack detection on delivered slices
+        benchmarks = self._benchmarks(ctx)
+        scores, accepted = self.detector.detect(ctx.slices, benchmarks)
+
+        # 2) reputation update: boolean outcome per scored worker,
+        #    uncertain (None) for lost uploads
+        outcomes: dict[int, bool | None] = {w: accepted[w] for w in scores}
+        for w in ctx.uncertain:
+            outcomes[w] = None
+        decayed = self.reputation.update_all(outcomes)
+        for w, outcome in outcomes.items():
+            self.slm.record(w, outcome)
+        self._rounds_seen += 1
+        if self.config.reputation_mode == "slm":
+            reputations = {w: self.slm.reputation(w) for w in outcomes}
+            if self._rounds_seen % self.config.slm_period == 0:
+                self.slm.reset_period()
+        else:
+            reputations = decayed
+
+        # 3) contributions against the filtered global gradient
+        global_grad = self._filtered_global_gradient(ctx, accepted)
+        distances: dict[int, float] = {}
+        contribs: dict[int, float] = {}
+        b_h: float | None = None
+        if global_grad is not None:
+            full_grads = {
+                w: recombine([ctx.slices[w][srv] for srv in ctx.server_ranks])
+                for w in ctx.slices
+            }
+            reference_grad = (
+                self._server_mean_gradient(ctx)
+                if self.config.contribution_reference == "server_mean"
+                else global_grad
+            )
+            if reference_grad is None:
+                reference_grad = global_grad
+            distances, b_h, contribs = self._score_contributions(
+                reference_grad, full_grads
+            )
+            if self.config.contribution_filter and any(
+                c < 0.0 for c in contribs.values()
+            ):
+                # Second pass (S4.3's free-rider guard, closed loop): the
+                # first pass's negative contributors are below the quality
+                # bar, so their gradients are removed from the aggregate
+                # and everyone is re-scored against the cleaned G̃. This
+                # keeps low-quality gradients from biasing the reference
+                # point that scores everyone else.
+                keep = {
+                    w: accepted.get(w, False) and contribs.get(w, 0.0) >= 0.0
+                    for w in ctx.slices
+                }
+                if self.config.contribution_reference == "aggregate":
+                    cleaned = self._filtered_global_gradient(ctx, keep)
+                    if cleaned is not None:
+                        distances, b_h, contribs = self._score_contributions(
+                            cleaned, full_grads
+                        )
+
+        # 4) incentive: shares and budget-scaled rewards
+        if contribs:
+            reps_for_shares = {w: reputations.get(w, self.reputation.reputation(w)) for w in contribs}
+            shares = reward_shares(
+                reps_for_shares, contribs, punish_mode=self.config.punish_mode
+            )
+        else:
+            shares = {}
+        rewards = allocate_rewards(shares, self.config.budget_per_round)
+        for w, amount in rewards.items():
+            self._cumulative_rewards[w] = self._cumulative_rewards.get(w, 0.0) + amount
+
+        record = FIFLRoundRecord(
+            round_idx=ctx.round_idx,
+            scores=scores,
+            accepted=accepted,
+            reputations=dict(reputations),
+            distances=distances,
+            b_h=b_h,
+            contribs=contribs,
+            shares=shares,
+            rewards=rewards,
+        )
+        self.records.append(record)
+        if self.ledger is not None:
+            self.ledger.append(
+                {
+                    "round": ctx.round_idx,
+                    "scores": scores,
+                    # full outcome map: True/False detection results plus
+                    # None for uncertain (lost-upload) events, so the audit
+                    # protocol can replay reputations exactly (S4.5)
+                    "accepted": outcomes,
+                    "reputations": dict(reputations),
+                    "contributions": contribs,
+                    "rewards": rewards,
+                },
+                signer="server-cluster",
+            )
+
+        return RoundDecision(
+            accept=accepted,
+            records={
+                "scores": scores,
+                "reputations": dict(reputations),
+                "contributions": contribs,
+                "rewards": rewards,
+            },
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def cumulative_rewards(self) -> dict[int, float]:
+        """Total rewards (negative = punishments) per worker so far."""
+        return dict(self._cumulative_rewards)
+
+    def reputation_history(self, worker: int) -> list[float]:
+        """Reputation trajectory for one worker."""
+        return self.reputation.history(worker)
+
+    def recommend_servers(self, m: int, exclude: set[int] | None = None) -> list[int]:
+        """Top-``m`` workers by current reputation (S4.5 re-selection).
+
+        ``exclude`` removes candidates (e.g. crashed nodes) before
+        ranking; raises RuntimeError if fewer than ``m`` remain.
+        """
+        if m <= 0:
+            raise ValueError("m must be positive")
+        reps = self.reputation.reputations()
+        if exclude:
+            reps = {w: r for w, r in reps.items() if w not in exclude}
+        if len(reps) < m:
+            raise RuntimeError(
+                f"only {len(reps)} eligible workers tracked, need {m}"
+            )
+        ranked = sorted(reps, key=lambda w: (-reps[w], w))
+        return sorted(ranked[:m])

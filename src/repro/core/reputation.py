@@ -1,0 +1,130 @@
+"""Reputation module: subjective logic with time decay (paper S4.2).
+
+Two estimators are provided:
+
+* :class:`SLMReputation` — the classic subjective-logic model the paper
+  starts from: per-period counts of positive/negative events with an
+  uncertainty mass, combined by Eq. 8-9 into a period reputation.
+* :class:`DecayReputation` — the paper's extension (Eq. 10):
+  ``R(t+1) = (1-γ) R(t) + γ r(t+1)``, an exponential moving average over
+  detection outcomes whose fixed point is the worker's honesty
+  probability (Theorem 1). FIFL uses this one.
+
+Uncertain events (lost uploads) do not move the decayed reputation — they
+are neither evidence for nor against the worker — but they are counted so
+SLM's ``Su`` mass and audit records stay faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SLMReputation", "DecayReputation", "theorem1_fixed_point"]
+
+
+@dataclass
+class SLMReputation:
+    """Per-period subjective-logic reputation (Eq. 8-9).
+
+    ``alpha_t, alpha_n, alpha_u`` weight trust, distrust, and uncertainty
+    in the final score ``R = a_t*St - a_n*Sn - a_u*Su``.
+    """
+
+    alpha_t: float = 1.0
+    alpha_n: float = 1.0
+    alpha_u: float = 1.0
+    # per-worker event counts for the current period
+    positives: dict[int, int] = field(default_factory=dict)
+    negatives: dict[int, int] = field(default_factory=dict)
+    uncertains: dict[int, int] = field(default_factory=dict)
+
+    def record(self, worker: int, outcome: bool | None) -> None:
+        """Record one event: True=positive, False=negative, None=uncertain."""
+        if outcome is None:
+            self.uncertains[worker] = self.uncertains.get(worker, 0) + 1
+        elif outcome:
+            self.positives[worker] = self.positives.get(worker, 0) + 1
+        else:
+            self.negatives[worker] = self.negatives.get(worker, 0) + 1
+
+    def uncertainty(self, worker: int) -> float:
+        """``Su``: the fraction of this worker's events that were lost."""
+        pt = self.positives.get(worker, 0)
+        pn = self.negatives.get(worker, 0)
+        su = self.uncertains.get(worker, 0)
+        total = pt + pn + su
+        return su / total if total else 0.0
+
+    def trust_scores(self, worker: int) -> tuple[float, float, float]:
+        """Eq. 8: ``(St, Sn, Su)`` for the period."""
+        pt = self.positives.get(worker, 0)
+        pn = self.negatives.get(worker, 0)
+        su = self.uncertainty(worker)
+        if pt + pn == 0:
+            return 0.0, 0.0, su
+        st = (1.0 - su) * pt / (pt + pn)
+        sn = (1.0 - su) * pn / (pt + pn)
+        return st, sn, su
+
+    def reputation(self, worker: int) -> float:
+        """Eq. 9: weighted combination of the triple."""
+        st, sn, su = self.trust_scores(worker)
+        return self.alpha_t * st - self.alpha_n * sn - self.alpha_u * su
+
+    def reset_period(self) -> None:
+        """Start a new assessment period (clear counts)."""
+        self.positives.clear()
+        self.negatives.clear()
+        self.uncertains.clear()
+
+
+class DecayReputation:
+    """Time-decayed reputation, Eq. 10: ``R <- (1-γ)R + γ r``.
+
+    ``γ`` controls sensitivity to the latest event; the paper initializes
+    ``R(0) = 0`` (Fig. 11). Events are booleans from the detection module;
+    uncertain events (None) leave the estimate unchanged.
+    """
+
+    def __init__(self, gamma: float = 0.1, initial: float = 0.0):
+        if not 0.0 < gamma < 1.0:
+            raise ValueError(f"gamma must be in (0, 1), got {gamma}")
+        self.gamma = gamma
+        self.initial = initial
+        self._rep: dict[int, float] = {}
+        self._history: dict[int, list[float]] = {}
+
+    def update(self, worker: int, outcome: bool | None) -> float:
+        """Fold one detection outcome into the worker's reputation."""
+        current = self._rep.get(worker, self.initial)
+        if outcome is not None:
+            current = (1.0 - self.gamma) * current + self.gamma * float(outcome)
+            self._rep[worker] = current
+        self._history.setdefault(worker, []).append(current)
+        return current
+
+    def update_all(self, outcomes: dict[int, bool | None]) -> dict[int, float]:
+        """Vector update for one round; returns current reputations."""
+        return {w: self.update(w, o) for w, o in outcomes.items()}
+
+    def reputation(self, worker: int) -> float:
+        """Current reputation (``initial`` if never updated)."""
+        return self._rep.get(worker, self.initial)
+
+    def history(self, worker: int) -> list[float]:
+        """Reputation trajectory, one entry per recorded event."""
+        return list(self._history.get(worker, []))
+
+    def reputations(self) -> dict[int, float]:
+        """Snapshot of all tracked workers."""
+        return dict(self._rep)
+
+
+def theorem1_fixed_point(p_evil: float) -> float:
+    """Theorem 1: with constant attack probability ``p`` the expected
+    reputation converges to the honesty probability ``1 - p``."""
+    if not 0.0 <= p_evil <= 1.0:
+        raise ValueError("p_evil must be in [0, 1]")
+    return 1.0 - p_evil

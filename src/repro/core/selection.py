@@ -1,0 +1,68 @@
+"""Server-cluster selection (paper S4.5).
+
+Before training, the task publisher runs a short probe: every candidate
+trains alone for a few iterations and is evaluated on a validation set;
+the most accurate devices form the initial server cluster. During
+training, the cluster is re-selected from the highest-reputation workers
+at the end of each iteration (here: whenever the caller asks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..fl.evaluation import accuracy
+from ..fl.workers import Worker
+
+__all__ = ["probe_selection", "reputation_selection"]
+
+
+def probe_selection(
+    workers: list[Worker],
+    validation: Dataset,
+    num_servers: int,
+    probe_rounds: int = 3,
+) -> list[int]:
+    """Initial server selection by short-probe validation accuracy.
+
+    Each worker trains ``probe_rounds`` local rounds from its own model's
+    current parameters; the publisher measures validation accuracy and
+    picks the top ``num_servers`` (ties broken by worker id for
+    determinism). Workers' models are restored afterwards so the probe
+    does not leak into training.
+    """
+    if num_servers <= 0 or num_servers > len(workers):
+        raise ValueError(
+            f"num_servers must be in [1, {len(workers)}], got {num_servers}"
+        )
+    if probe_rounds <= 0:
+        raise ValueError("probe_rounds must be positive")
+    scores: list[tuple[float, int]] = []
+    for w in workers:
+        saved = w.model.get_flat_params()
+        theta = saved
+        for _ in range(probe_rounds):
+            upd = w.compute_update(theta)
+            theta = theta - w.lr * upd.gradient
+        w.model.set_flat_params(theta)
+        acc = accuracy(w.model, validation)
+        scores.append((acc, w.worker_id))
+        w.model.set_flat_params(saved)
+    # highest accuracy first; lowest id wins ties
+    scores.sort(key=lambda t: (-t[0], t[1]))
+    return sorted(wid for _, wid in scores[:num_servers])
+
+
+def reputation_selection(
+    reputations: dict[int, float], num_servers: int
+) -> list[int]:
+    """Re-select the server cluster: top reputations (S4.5)."""
+    if num_servers <= 0:
+        raise ValueError("num_servers must be positive")
+    if len(reputations) < num_servers:
+        raise ValueError(
+            f"only {len(reputations)} workers tracked, need {num_servers}"
+        )
+    ranked = sorted(reputations, key=lambda w: (-reputations[w], w))
+    return sorted(ranked[:num_servers])

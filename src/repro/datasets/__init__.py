@@ -1,0 +1,24 @@
+"""Synthetic datasets, federated partitioners, and label poisoning."""
+
+from .partition import dirichlet_partition, iid_partition, sized_partition
+from .poisoning import flip_labels, poison_dataset
+from .synth import (
+    Dataset,
+    make_blobs,
+    make_cifar10_like,
+    make_mnist_like,
+    train_test_split,
+)
+
+__all__ = [
+    "Dataset",
+    "make_blobs",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "train_test_split",
+    "iid_partition",
+    "sized_partition",
+    "dirichlet_partition",
+    "flip_labels",
+    "poison_dataset",
+]

@@ -1,0 +1,66 @@
+"""Label poisoning utilities for data-poison attackers (paper S5.1).
+
+A data-poison worker trains on a dataset in which a fraction ``p_d`` of
+labels are wrong; ``p_d`` is the paper's "degree of unreliability".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synth import Dataset
+
+__all__ = ["flip_labels", "poison_dataset"]
+
+
+def flip_labels(
+    y: np.ndarray,
+    p_d: float,
+    num_classes: int,
+    rng: np.random.Generator,
+    systematic: bool = False,
+) -> np.ndarray:
+    """Return a copy of ``y`` with a ``p_d`` fraction of labels wrong.
+
+    Exactly ``round(p_d * len(y))`` entries are re-labelled, so the
+    realized error rate equals the requested one (no accidental no-op
+    flips). Two flip modes:
+
+    * random (default) — each flipped label moves to a uniformly random
+      *incorrect* class, modelling noisy/unreliable labelling;
+    * ``systematic=True`` — every flipped label moves to the next class
+      ``(y + 1) mod C``, modelling a *targeted* label-flipping attack
+      (class A consistently relabelled as class B), whose gradient
+      deviation is directional rather than cancelling.
+    """
+    if not 0.0 <= p_d <= 1.0:
+        raise ValueError(f"p_d must be in [0, 1], got {p_d}")
+    if num_classes < 2:
+        raise ValueError("need at least 2 classes to mislabel")
+    y = np.asarray(y, dtype=np.int64).copy()
+    n_flip = int(round(p_d * y.size))
+    if n_flip == 0:
+        return y
+    idx = rng.choice(y.size, size=n_flip, replace=False)
+    if systematic:
+        offsets = np.ones(n_flip, dtype=np.int64)
+    else:
+        # random offset in [1, num_classes) mod C: always incorrect
+        offsets = rng.integers(1, num_classes, size=n_flip)
+    y[idx] = (y[idx] + offsets) % num_classes
+    return y
+
+
+def poison_dataset(
+    data: Dataset,
+    p_d: float,
+    rng: np.random.Generator,
+    systematic: bool = False,
+) -> Dataset:
+    """Dataset copy whose labels are flipped at rate ``p_d``."""
+    return Dataset(
+        data.x.copy(),
+        flip_labels(data.y, p_d, data.num_classes, rng, systematic=systematic),
+        data.num_classes,
+        f"{data.name}[poison p_d={p_d}]",
+    )

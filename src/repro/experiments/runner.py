@@ -1,0 +1,187 @@
+"""Run paper experiments from the command line and save JSON results.
+
+Usage::
+
+    python -m repro.experiments.runner --figures fig11,fig12 --out results/
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner --all --fast
+
+``--fast`` runs each driver at a reduced scale (sanity-check speed);
+without it the drivers run at their report-scale defaults. Results are
+written one JSON file per figure plus printed in the paper's row format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from . import (
+    arch_comm,
+    fault_tolerance,
+    fig04_rewards,
+    fig05_market,
+    fig06_unreliable,
+    fig07_attack_damage,
+    fig08_cifar_damage,
+    fig09_detection,
+    fig10_defense,
+    fig11_reputation,
+    fig12_contribution,
+    fig13_cumulative_rewards,
+    fig14_punishments,
+    noniid,
+)
+
+__all__ = ["FIGURES", "run_figure", "main"]
+
+
+def _fig07(fast: bool) -> tuple[dict, list[str]]:
+    cfg = None
+    if fast:
+        cfg = fig07_attack_damage.default_config().scaled(rounds=10, eval_every=10)
+    a = fig07_attack_damage.run_intensity_sweep(cfg)
+    b = fig07_attack_damage.run_type_comparison(cfg)
+    return {"intensity": a, "types": b}, fig07_attack_damage.format_rows(a, b)
+
+
+def _fig08(fast: bool) -> tuple[dict, list[str]]:
+    cfg = None
+    if fast:
+        cfg = fig08_cifar_damage.default_config().scaled(rounds=10, eval_every=10)
+    r = fig08_cifar_damage.run(cfg)
+    return r, fig08_cifar_damage.format_rows(r)
+
+
+def _fig09(fast: bool) -> tuple[dict, list[str]]:
+    kw = {"poison_rates": (0.3, 0.9), "thresholds": (0.0, 0.2)} if fast else {}
+    a = fig09_detection.run_accuracy_sweep(**kw)
+    b = fig09_detection.run_tradeoff()
+    return {"accuracy": a, "tradeoff": b}, fig09_detection.format_rows(a, b)
+
+
+def _market(mod, fast: bool) -> tuple[dict, list[str]]:
+    reps = 5 if fast else 20
+    r = mod.run(repetitions=reps, probe_rounds=3 if fast else 4)
+    return r, mod.format_rows(r)
+
+
+def _simple(mod, fast: bool) -> tuple[dict, list[str]]:
+    r = mod.run()
+    return r, mod.format_rows(r)
+
+
+#: figure id -> callable(fast) -> (result dict, printable rows)
+FIGURES: dict[str, Callable[[bool], tuple[dict, list[str]]]] = {
+    "fig04": lambda fast: _market(fig04_rewards, fast),
+    "fig05": lambda fast: _market(fig05_market, fast),
+    "fig06": lambda fast: _market(fig06_unreliable, fast),
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": lambda fast: _simple(fig10_defense, fast),
+    "fig11": lambda fast: _simple(fig11_reputation, fast),
+    "fig12": lambda fast: _simple(fig12_contribution, fast),
+    "fig13": lambda fast: _simple(fig13_cumulative_rewards, fast),
+    "fig14": lambda fast: _simple(fig14_punishments, fast),
+    # extension experiments (not paper figures)
+    "ext-comm": lambda fast: _ext_comm(fast),
+    "ext-fault": lambda fast: _ext_fault(fast),
+    "ext-noniid": lambda fast: _ext_noniid(fast),
+}
+
+
+def _ext_comm(fast: bool) -> tuple[dict, list[str]]:
+    r = arch_comm.run(rounds=2 if fast else 5)
+    return r, arch_comm.format_rows(r)
+
+
+def _ext_fault(fast: bool) -> tuple[dict, list[str]]:
+    r = fault_tolerance.run(rounds=10 if fast else 24, fail_at=3 if fast else 5)
+    return r, fault_tolerance.format_rows(r)
+
+
+def _ext_noniid(fast: bool) -> tuple[dict, list[str]]:
+    r = noniid.run(
+        alphas=(100.0, 0.1) if fast else (100.0, 1.0, 0.3, 0.1),
+        rounds=6 if fast else 15,
+    )
+    return r, noniid.format_rows(r)
+
+
+def _jsonable(obj):
+    """Recursively convert results (numpy scalars, tuple keys) to JSON."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _jsonable(obj.tolist())
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, float) and obj != obj:  # NaN
+        return None
+    return obj
+
+
+def run_figure(fig_id: str, fast: bool = False) -> tuple[dict, list[str]]:
+    """Run one figure's driver; returns (result, printable rows)."""
+    if fig_id not in FIGURES:
+        raise ValueError(
+            f"unknown figure {fig_id!r}; available: {', '.join(sorted(FIGURES))}"
+        )
+    return FIGURES[fig_id](fast)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner", description=__doc__
+    )
+    parser.add_argument(
+        "--figures", default="", help="comma-separated figure ids (fig04..fig14)"
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--fast", action="store_true", help="reduced scales")
+    parser.add_argument("--out", default="", help="directory for JSON results")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for fig_id in sorted(FIGURES):
+            print(fig_id)
+        return 0
+
+    wanted = sorted(FIGURES) if args.all else [
+        f.strip() for f in args.figures.split(",") if f.strip()
+    ]
+    if not wanted:
+        parser.error("nothing to run: pass --figures, --all, or --list")
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for fig_id in wanted:
+        t0 = time.time()
+        result, rows = run_figure(fig_id, fast=args.fast)
+        elapsed = time.time() - t0
+        print(f"\n=== {fig_id} ({elapsed:.1f}s) ===")
+        for row in rows:
+            print(row)
+        if out_dir is not None:
+            path = out_dir / f"{fig_id}.json"
+            path.write_text(json.dumps(_jsonable(result), indent=2))
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

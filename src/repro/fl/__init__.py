@@ -1,0 +1,51 @@
+"""Federated-learning substrate: workers, gradients, trainer, evaluation."""
+
+from .evaluation import accuracy, evaluate
+from .gradients import fedavg, recombine, slice_bounds, split_gradient
+from .trainer import (
+    FederatedTrainer,
+    RoundContext,
+    RoundDecision,
+    RoundMechanism,
+    RoundRecord,
+    TrainingHistory,
+)
+from .workers import (
+    ColludingAttacker,
+    DataPoisonWorker,
+    FreeRiderWorker,
+    GaussianNoiseAttacker,
+    HonestWorker,
+    ProbabilisticAttacker,
+    ReplayFreeRider,
+    SampleInflationWorker,
+    SignFlippingWorker,
+    Worker,
+    WorkerUpdate,
+)
+
+__all__ = [
+    "accuracy",
+    "evaluate",
+    "fedavg",
+    "recombine",
+    "slice_bounds",
+    "split_gradient",
+    "FederatedTrainer",
+    "RoundContext",
+    "RoundDecision",
+    "RoundMechanism",
+    "RoundRecord",
+    "TrainingHistory",
+    "Worker",
+    "WorkerUpdate",
+    "HonestWorker",
+    "SignFlippingWorker",
+    "DataPoisonWorker",
+    "FreeRiderWorker",
+    "ProbabilisticAttacker",
+    "GaussianNoiseAttacker",
+    "ReplayFreeRider",
+    "SampleInflationWorker",
+    "ColludingAttacker",
+]

@@ -1,0 +1,37 @@
+"""Model evaluation helpers shared by the trainer and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..nn import SoftmaxCrossEntropy, Sequential
+
+__all__ = ["evaluate", "accuracy"]
+
+
+def evaluate(
+    model: Sequential, data: Dataset, batch_size: int = 256
+) -> tuple[float, float]:
+    """Return ``(mean test loss, accuracy)`` over the dataset.
+
+    Batched so convolutional models with large eval sets stay within
+    memory; loss is the sample-weighted mean of batch losses.
+    """
+    loss_fn = SoftmaxCrossEntropy()
+    total_loss = 0.0
+    correct = 0
+    for x, y in data.batches(batch_size):
+        logits = model.predict(x)
+        total_loss += loss_fn(logits, y) * x.shape[0]
+        correct += int((logits.argmax(axis=1) == y).sum())
+    n = len(data)
+    return total_loss / n, correct / n
+
+
+def accuracy(model: Sequential, data: Dataset, batch_size: int = 256) -> float:
+    """Classification accuracy only."""
+    correct = 0
+    for x, y in data.batches(batch_size):
+        correct += int((model.predict(x).argmax(axis=1) == y).sum())
+    return correct / len(data)

@@ -1,0 +1,76 @@
+"""Gradient vector utilities: slicing, recombination, weighted aggregation.
+
+The polycentric protocol (paper S3.2) splits each worker's flat gradient
+into M contiguous slices, ships slice j to server j, and recombines the
+per-server aggregates into the global gradient. Slicing here is plain
+``np.array_split`` so ``recombine(split(G)) == G`` exactly and every
+worker/server pair agrees on slice boundaries given (vector length, M).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_gradient", "recombine", "fedavg", "slice_bounds"]
+
+
+def slice_bounds(length: int, num_slices: int) -> list[tuple[int, int]]:
+    """(start, end) index pairs of each slice, matching np.array_split."""
+    if num_slices <= 0:
+        raise ValueError("num_slices must be positive")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    base = length // num_slices
+    extra = length % num_slices
+    bounds = []
+    start = 0
+    for j in range(num_slices):
+        size = base + (1 if j < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def split_gradient(grad: np.ndarray, num_slices: int) -> list[np.ndarray]:
+    """Split a flat gradient into ``num_slices`` contiguous slices (copies)."""
+    grad = np.asarray(grad, dtype=np.float64)
+    if grad.ndim != 1:
+        raise ValueError(f"gradient must be flat, got shape {grad.shape}")
+    if num_slices <= 0:
+        raise ValueError("num_slices must be positive")
+    if num_slices > grad.size and grad.size > 0:
+        raise ValueError(
+            f"cannot split {grad.size} values into {num_slices} non-trivial slices"
+        )
+    return [s.copy() for s in np.array_split(grad, num_slices)]
+
+
+def recombine(slices: list[np.ndarray]) -> np.ndarray:
+    """Concatenate slices back into the flat gradient."""
+    if not slices:
+        raise ValueError("no slices to recombine")
+    return np.concatenate([np.asarray(s, dtype=np.float64) for s in slices])
+
+
+def fedavg(gradients: list[np.ndarray], weights: list[float] | np.ndarray) -> np.ndarray:
+    """Weighted average of gradient vectors (paper Eq. 2).
+
+    Weights are normalized internally; typically ``weights[i] = n_i`` (the
+    worker's sample count) possibly zeroed by detection flags ``r_i``.
+    """
+    if not gradients:
+        raise ValueError("no gradients to aggregate")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(gradients),):
+        raise ValueError(
+            f"{len(gradients)} gradients but weights shape {weights.shape}"
+        )
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    stacked = np.stack([np.asarray(g, dtype=np.float64) for g in gradients])
+    if stacked.ndim != 2:
+        raise ValueError("gradients must all be flat vectors of equal length")
+    return (weights / total) @ stacked

@@ -1,0 +1,340 @@
+"""Federated training loop over the polycentric protocol (paper S3.2).
+
+One :class:`FederatedTrainer` drives all three architectures: M = 1 server
+is centralized, 1 < M < N polycentric, M = N decentralized — exactly the
+generalization the paper claims in S3.2. Gradient uploads travel over the
+lossy :class:`~repro.comm.Network`; a lost slice makes that worker's round
+an *uncertain event* (neither positive nor negative for reputation).
+
+A pluggable mechanism (e.g. :class:`repro.core.FIFLMechanism`) inspects the
+per-server slices each round and decides which workers' gradients enter the
+aggregate; with no mechanism every delivered update is accepted, which is
+the undefended baseline of Figures 7, 8 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..comm import Network, polycentric_topology, validate_roles
+from ..datasets import Dataset
+from ..nn import Sequential
+from .evaluation import evaluate
+from .gradients import fedavg, recombine, split_gradient
+from .workers import Worker, WorkerUpdate
+
+__all__ = [
+    "RoundContext",
+    "RoundDecision",
+    "RoundMechanism",
+    "RoundRecord",
+    "TrainingHistory",
+    "FederatedTrainer",
+]
+
+
+@dataclass
+class RoundContext:
+    """Everything a mechanism may inspect in one communication round."""
+
+    round_idx: int
+    global_params: np.ndarray
+    server_ranks: list[int]
+    # worker_id -> {server_rank: delivered gradient slice}
+    slices: dict[int, dict[int, np.ndarray]]
+    # worker_id -> full update (for ground truth / full-vector scoring)
+    updates: dict[int, WorkerUpdate]
+    # workers whose upload was (partly) lost this round: uncertain events
+    uncertain: set[int]
+    sample_counts: dict[int, int]
+
+
+@dataclass
+class RoundDecision:
+    """A mechanism's verdict for one round."""
+
+    # worker_id -> r_i (True = honest/accept, False = reject)
+    accept: dict[int, bool]
+    # free-form per-round records (scores, reputations, rewards, ...)
+    records: dict = field(default_factory=dict)
+
+
+class RoundMechanism(Protocol):
+    """Protocol implemented by FIFL (and ablation mechanisms)."""
+
+    def process_round(self, ctx: RoundContext) -> RoundDecision: ...
+
+
+class _AcceptAll:
+    """Default mechanism: accept every delivered update (no defence)."""
+
+    def process_round(self, ctx: RoundContext) -> RoundDecision:
+        return RoundDecision(accept={w: True for w in ctx.slices})
+
+
+@dataclass
+class RoundRecord:
+    """Per-round training telemetry."""
+
+    round_idx: int
+    test_loss: float | None
+    test_acc: float | None
+    accepted: dict[int, bool]
+    uncertain: set[int]
+    mechanism_records: dict
+    grad_norm: float
+
+
+@dataclass
+class TrainingHistory:
+    """Full training trace returned by :meth:`FederatedTrainer.run`."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    def series(self, key: str) -> list:
+        """Extract one telemetry field across rounds (None entries kept)."""
+        return [getattr(r, key) for r in self.rounds]
+
+    def final_accuracy(self) -> float | None:
+        """Last recorded test accuracy."""
+        for r in reversed(self.rounds):
+            if r.test_acc is not None:
+                return r.test_acc
+        return None
+
+
+class FederatedTrainer:
+    """Drives synchronous federated rounds over a lossy network."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        workers: list[Worker],
+        server_ranks: list[int],
+        test_data: Dataset | None = None,
+        mechanism: RoundMechanism | None = None,
+        server_lr: float | object = 0.1,
+        drop_prob: float = 0.0,
+        seed: int = 0,
+        reselect_every: int = 0,
+    ):
+        if not workers:
+            raise ValueError("need at least one worker")
+        # server_lr may be a constant or a schedule (callable round -> lr)
+        if callable(server_lr):
+            self._lr_schedule = server_lr
+        else:
+            if server_lr <= 0:
+                raise ValueError("server_lr must be positive")
+            self._lr_schedule = None
+        if reselect_every < 0:
+            raise ValueError("reselect_every must be non-negative")
+        ids = [w.worker_id for w in workers]
+        if sorted(ids) != list(range(len(workers))):
+            raise ValueError("worker ids must be exactly 0..N-1")
+        self.model = model
+        self.workers = sorted(workers, key=lambda w: w.worker_id)
+        self.num_workers = len(workers)
+        self.server_ranks = sorted(set(server_ranks))
+        # Validate S ⊂ W via the topology module (raises on bad ranks).
+        self.topology = polycentric_topology(self.num_workers, self.server_ranks)
+        validate_roles(self.topology)
+        self.test_data = test_data
+        self.mechanism: RoundMechanism = mechanism if mechanism is not None else _AcceptAll()
+        self.server_lr = server_lr if not callable(server_lr) else None
+        self.network = Network(self.num_workers, drop_prob=drop_prob, seed=seed)
+        # S4.5: re-form the server cluster from the highest-reputation
+        # workers every ``reselect_every`` rounds (0 = static cluster).
+        # Requires a mechanism exposing ``recommend_servers(m)``.
+        self.reselect_every = reselect_every
+        if reselect_every and not hasattr(self.mechanism, "recommend_servers"):
+            raise ValueError(
+                "reselect_every needs a mechanism with recommend_servers()"
+            )
+        self._failed: set[int] = set()
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.server_ranks)
+
+    def fail_node(self, rank: int) -> None:
+        """Simulate a device crash: the node stops computing and all of
+        its links go dark (S3.2's fault-tolerance discussion).
+
+        A failed plain worker just disappears from the federation. A
+        failed *server* silently loses every slice addressed to it, which
+        stalls aggregation in a static cluster — the paper's
+        "decentralized architecture lacks fault tolerance" scenario —
+        unless re-selection replaces it.
+        """
+        if not 0 <= rank < self.num_workers:
+            raise ValueError(f"rank {rank} outside [0, {self.num_workers})")
+        self._failed.add(rank)
+        for other in range(self.num_workers):
+            self.network.set_link_drop_prob(rank, other, 1.0)
+            self.network.set_link_drop_prob(other, rank, 1.0)
+
+    @property
+    def failed_nodes(self) -> set[int]:
+        return set(self._failed)
+
+    def node_comm_load(self) -> dict[int, int]:
+        """Bytes moved through each node (sent + received) so far.
+
+        The max over nodes is the deployment bottleneck S3.2 discusses:
+        one central server carries O(N·P) per round, M polycentric
+        servers carry O(N·P/M) each, and fully decentralized nodes carry
+        O(P) regardless of N.
+        """
+        load = {n: 0 for n in range(self.num_workers)}
+        for (src, dst), nbytes in self.network.bytes_sent.items():
+            load[src] += nbytes
+            load[dst] += nbytes
+        return load
+
+    def _round_lr(self, round_idx: int) -> float:
+        """The server learning rate for this round (constant or scheduled)."""
+        if self._lr_schedule is not None:
+            lr = float(self._lr_schedule(round_idx))
+            if lr <= 0:
+                raise ValueError(f"schedule produced non-positive lr {lr}")
+            return lr
+        return self.server_lr
+
+    # -- one communication round ----------------------------------------------
+
+    def _upload_slices(
+        self, updates: dict[int, WorkerUpdate], round_idx: int
+    ) -> tuple[dict[int, dict[int, np.ndarray]], set[int]]:
+        """Workers split gradients and send slice j to server j (step 1.3)."""
+        tag = f"slice:{round_idx}"
+        for wid, upd in updates.items():
+            parts = split_gradient(upd.gradient, self.num_servers)
+            for j, srv in enumerate(self.server_ranks):
+                self.network.send(wid, srv, tag, (j, parts[j]))
+        delivered: dict[int, dict[int, np.ndarray]] = {}
+        uncertain: set[int] = set()
+        for wid in updates:
+            got: dict[int, np.ndarray] = {}
+            for srv in self.server_ranks:
+                msg = self.network.recv(srv, wid, tag)
+                if msg is not None:
+                    _, part = msg.payload
+                    got[srv] = part
+            if len(got) == self.num_servers:
+                delivered[wid] = got
+            else:
+                # Any lost slice -> the round is unidentifiable for this
+                # worker: an SLM uncertain event, excluded from aggregation.
+                uncertain.add(wid)
+        return delivered, uncertain
+
+    def run_round(self, round_idx: int) -> RoundRecord:
+        """Execute one synchronous round and update the global model."""
+        theta = self.model.get_flat_params()
+        global_buffers = self.model.get_flat_buffers()
+        updates = {
+            w.worker_id: w.compute_update(theta, global_buffers)
+            for w in self.workers
+            if w.worker_id not in self._failed
+        }
+        delivered, uncertain = self._upload_slices(updates, round_idx)
+
+        ctx = RoundContext(
+            round_idx=round_idx,
+            global_params=theta,
+            server_ranks=list(self.server_ranks),
+            slices=delivered,
+            updates=updates,
+            uncertain=uncertain,
+            sample_counts={w.worker_id: w.num_samples for w in self.workers},
+        )
+        decision = self.mechanism.process_round(ctx)
+
+        accepted_ids = [w for w in sorted(delivered) if decision.accept.get(w, False)]
+        grad_norm = 0.0
+        if accepted_ids:
+            # Servers aggregate their slice over accepted workers (step 2.2),
+            # then slices recombine into the global gradient (step 1.5).
+            weights = [ctx.sample_counts[w] for w in accepted_ids]
+            agg_slices = []
+            for srv in self.server_ranks:
+                per_server = [delivered[w][srv] for w in accepted_ids]
+                agg_slices.append(fedavg(per_server, weights))
+            global_grad = recombine(agg_slices)
+            grad_norm = float(np.linalg.norm(global_grad))
+            lr = self._round_lr(round_idx)
+            self.model.set_flat_params(theta - lr * global_grad)
+            # Step 1.4: servers broadcast their global slice to every
+            # worker. The trainer holds the global model authoritatively,
+            # so this pass exists for protocol fidelity — byte accounting
+            # and drop statistics per link (the per-node communication
+            # load is what S3.2's scalability argument is about).
+            tag = f"global:{round_idx}"
+            for j, srv in enumerate(self.server_ranks):
+                for wid in range(self.num_workers):
+                    if wid != srv:
+                        self.network.send(srv, wid, tag, agg_slices[j])
+            # FedAvg-BN: average accepted workers' running statistics into
+            # the global model so evaluation normalizes with live stats.
+            buffer_vecs = [
+                updates[w].buffers
+                for w in accepted_ids
+                if updates[w].buffers is not None
+            ]
+            if buffer_vecs and self.model.num_buffer_values:
+                weights_b = [
+                    ctx.sample_counts[w]
+                    for w in accepted_ids
+                    if updates[w].buffers is not None
+                ]
+                self.model.set_flat_buffers(fedavg(buffer_vecs, weights_b))
+
+        test_loss = test_acc = None
+        if self.test_data is not None:
+            test_loss, test_acc = evaluate(self.model, self.test_data)
+
+        return RoundRecord(
+            round_idx=round_idx,
+            test_loss=test_loss,
+            test_acc=test_acc,
+            accepted={w: decision.accept.get(w, False) for w in sorted(updates)},
+            uncertain=uncertain,
+            mechanism_records=decision.records,
+            grad_norm=grad_norm,
+        )
+
+    def run(self, num_rounds: int, eval_every: int = 1) -> TrainingHistory:
+        """Run ``num_rounds`` rounds; evaluate every ``eval_every`` rounds."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        history = TrainingHistory()
+        saved_test = self.test_data
+        for t in range(num_rounds):
+            # Skip expensive evaluation on non-reporting rounds.
+            self.test_data = saved_test if (t % eval_every == 0 or t == num_rounds - 1) else None
+            history.rounds.append(self.run_round(t))
+            if self.reselect_every and (t + 1) % self.reselect_every == 0:
+                self._reselect_servers()
+        self.test_data = saved_test
+        return history
+
+    def _reselect_servers(self) -> None:
+        """S4.5: replace the cluster with the top-reputation workers."""
+        try:
+            new_ranks = self.mechanism.recommend_servers(  # type: ignore[attr-defined]
+                self.num_servers, exclude=self._failed
+            )
+        except RuntimeError:
+            return  # not enough reputations tracked; keep the cluster
+        new_ranks = sorted(set(new_ranks))
+        if new_ranks == self.server_ranks:
+            return
+        self.server_ranks = new_ranks
+        self.topology = polycentric_topology(self.num_workers, self.server_ranks)
+        validate_roles(self.topology)

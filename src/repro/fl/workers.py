@@ -1,0 +1,407 @@
+"""Worker agents: honest devices and the paper's attacker types (S5.1).
+
+Every worker owns a local dataset and a private model replica. Each round
+the trainer hands the worker the global parameter vector; the worker runs
+``local_iters`` minibatch SGD steps and returns its accumulated local
+gradient ``G_i = (theta_start - theta_end) / lr`` — identical to the sum of
+per-step gradients for plain SGD, which is the paper's ``G_i = sum_k dL/dθ``.
+
+Attackers transform that honest behaviour:
+
+* :class:`SignFlippingWorker` uploads ``-p_s * G_i`` (attack intensity p_s);
+* :class:`DataPoisonWorker` trains on labels mislabelled at rate ``p_d``;
+* :class:`FreeRiderWorker` uploads a gradient-shaped noise vector without
+  training (seeks rewards for no utility);
+* :class:`ProbabilisticAttacker` flips a coin each round and behaves as its
+  attacker persona with probability ``p_a`` (used by the reputation
+  experiments, Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..datasets import Dataset, poison_dataset
+from ..nn import SoftmaxCrossEntropy, Sequential
+from ..nn.optim import Optimizer
+
+__all__ = [
+    "WorkerUpdate",
+    "Worker",
+    "HonestWorker",
+    "SignFlippingWorker",
+    "DataPoisonWorker",
+    "FreeRiderWorker",
+    "ProbabilisticAttacker",
+    "GaussianNoiseAttacker",
+    "ReplayFreeRider",
+    "SampleInflationWorker",
+    "ColludingAttacker",
+]
+
+
+@dataclass
+class WorkerUpdate:
+    """What a worker uploads each round."""
+
+    worker_id: int
+    gradient: np.ndarray
+    num_samples: int  # claimed sample count (trusted by the baselines only)
+    attacked: bool = False  # ground truth for detection metrics
+    # non-trainable state (BatchNorm running stats), synchronized
+    # out-of-band per FedAvg-BN practice; None for buffer-free models
+    buffers: np.ndarray | None = None
+
+
+class Worker:
+    """Base worker: local data, local model replica, honest local training."""
+
+    is_malicious = False  # static ground-truth label for metrics
+
+    def __init__(
+        self,
+        worker_id: int,
+        dataset: Dataset,
+        model_fn: Callable[[], Sequential],
+        lr: float = 0.1,
+        batch_size: int = 32,
+        local_iters: int = 1,
+        seed: int = 0,
+        optimizer: Optimizer | None = None,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if batch_size <= 0 or local_iters <= 0:
+            raise ValueError("batch_size and local_iters must be positive")
+        if len(dataset) == 0:
+            raise ValueError("worker dataset is empty")
+        self.worker_id = worker_id
+        self.dataset = dataset
+        self.model = model_fn()
+        self.lr = lr
+        self.batch_size = batch_size
+        self.local_iters = local_iters
+        self.rng = np.random.default_rng(seed)
+        self._loss_fn = SoftmaxCrossEntropy()
+        # Optional local optimizer (momentum/Adam). The uploaded "gradient"
+        # is always the normalized parameter delta (theta0 - thetaK) / lr
+        # — for plain SGD that equals the accumulated gradient exactly;
+        # for other optimizers it is the effective update direction, which
+        # is what FedAvg-of-updates aggregates in practice. The optimizer
+        # state is reset each round so rounds stay independent.
+        self.optimizer = optimizer
+
+    @property
+    def num_samples(self) -> int:
+        """Sample count the worker reports (honest workers report truth)."""
+        return len(self.dataset)
+
+    def _local_gradient(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Accumulated gradient of ``local_iters`` SGD steps from theta."""
+        self.model.set_flat_params(global_params)
+        if global_buffers is not None and global_buffers.size:
+            self.model.set_flat_buffers(global_buffers)
+        if self.optimizer is not None:
+            self.optimizer.reset()
+        for _ in range(self.local_iters):
+            idx = self.rng.integers(0, len(self.dataset), size=min(
+                self.batch_size, len(self.dataset)
+            ))
+            x, y = self.dataset.x[idx], self.dataset.y[idx]
+            self._loss_fn(self.model.forward(x, training=True), y)
+            self.model.backward(self._loss_fn.backward())
+            grad = self.model.get_flat_grads()
+            if self.optimizer is not None:
+                self.model.set_flat_params(
+                    self.optimizer.step(self.model.get_flat_params(), grad)
+                )
+            else:
+                self.model.apply_flat_grads(grad, lr=self.lr)
+        return (global_params - self.model.get_flat_params()) / self.lr
+
+    def _buffers_out(self) -> np.ndarray | None:
+        buf = self.model.get_flat_buffers()
+        return buf if buf.size else None
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        """One round of honest local training."""
+        grad = self._local_gradient(global_params, global_buffers)
+        return WorkerUpdate(
+            self.worker_id,
+            grad,
+            self.num_samples,
+            attacked=False,
+            buffers=self._buffers_out(),
+        )
+
+
+class HonestWorker(Worker):
+    """Alias for the base behaviour, named for experiment readability."""
+
+
+class SignFlippingWorker(Worker):
+    """Uploads ``-p_s * G_i`` to push the model away from convergence."""
+
+    is_malicious = True
+
+    def __init__(self, *args, p_s: float = 4.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if p_s <= 0:
+            raise ValueError("attack intensity p_s must be positive")
+        self.p_s = p_s
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        grad = self._local_gradient(global_params, global_buffers)
+        return WorkerUpdate(
+            self.worker_id,
+            -self.p_s * grad,
+            self.num_samples,
+            attacked=True,
+            buffers=self._buffers_out(),
+        )
+
+
+class DataPoisonWorker(Worker):
+    """Trains honestly on a dataset whose labels are wrong at rate ``p_d``."""
+
+    def __init__(self, *args, p_d: float = 0.5, poison_seed: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= p_d <= 1.0:
+            raise ValueError("p_d must be in [0, 1]")
+        self.p_d = p_d
+        if p_d > 0:
+            self.dataset = poison_dataset(
+                self.dataset, p_d, np.random.default_rng(poison_seed)
+            )
+
+    # High p_d is an attack; low p_d is merely low-quality data. The paper
+    # treats p_d >= threshold as unreliable; metrics use this coarse label.
+    @property
+    def is_malicious(self) -> bool:  # type: ignore[override]
+        return self.p_d > 0.0
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        grad = self._local_gradient(global_params, global_buffers)
+        return WorkerUpdate(
+            self.worker_id,
+            grad,
+            self.num_samples,
+            attacked=self.p_d > 0.0,
+            buffers=self._buffers_out(),
+        )
+
+
+class FreeRiderWorker(Worker):
+    """Skips training and uploads small random noise shaped like a gradient."""
+
+    is_malicious = True
+
+    def __init__(self, *args, noise_scale: float = 1e-3, **kwargs):
+        super().__init__(*args, **kwargs)
+        if noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        self.noise_scale = noise_scale
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        grad = self.noise_scale * self.rng.normal(size=global_params.size)
+        return WorkerUpdate(
+            self.worker_id, grad, self.num_samples, attacked=True, buffers=None
+        )
+
+
+class ProbabilisticAttacker(Worker):
+    """Behaves as ``attacker`` with probability ``p_a``, else honestly.
+
+    Models the paper's unstable attackers whose reputation should converge
+    to ``1 - p_a`` (Theorem 1 / Fig. 11).
+    """
+
+    is_malicious = True
+
+    def __init__(self, *args, p_a: float = 0.5, p_s: float = 4.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= p_a <= 1.0:
+            raise ValueError("p_a must be in [0, 1]")
+        if p_s <= 0:
+            raise ValueError("p_s must be positive")
+        self.p_a = p_a
+        self.p_s = p_s
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        grad = self._local_gradient(global_params, global_buffers)
+        if self.rng.random() < self.p_a:
+            return WorkerUpdate(
+                self.worker_id,
+                -self.p_s * grad,
+                self.num_samples,
+                attacked=True,
+                buffers=self._buffers_out(),
+            )
+        return WorkerUpdate(
+            self.worker_id,
+            grad,
+            self.num_samples,
+            attacked=False,
+            buffers=self._buffers_out(),
+        )
+
+
+class GaussianNoiseAttacker(Worker):
+    """Uploads pure Gaussian noise scaled to the honest gradient's norm.
+
+    Eq. 4's "arbitrary value" Byzantine worker: it trains (so its noise is
+    norm-calibrated and not trivially spotted by magnitude) but discards
+    the result and uploads a random direction scaled by ``scale``.
+    """
+
+    is_malicious = True
+
+    def __init__(self, *args, scale: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        honest = self._local_gradient(global_params, global_buffers)
+        noise = self.rng.normal(size=honest.size)
+        norm = np.linalg.norm(noise)
+        if norm > 0:
+            noise *= self.scale * np.linalg.norm(honest) / norm
+        return WorkerUpdate(
+            self.worker_id,
+            noise,
+            self.num_samples,
+            attacked=True,
+            buffers=self._buffers_out(),
+        )
+
+
+class ReplayFreeRider(Worker):
+    """Stealthy free-rider: replays the previous global model delta.
+
+    Instead of training, it uploads the *difference of global parameters*
+    between the last two rounds scaled back into gradient units — a
+    classic free-riding strategy that mimics the crowd's direction and is
+    much harder to catch than random noise (its gradient correlates
+    positively with the benchmark). First round falls back to zeros.
+    """
+
+    is_malicious = True
+
+    def __init__(self, *args, server_lr: float = 0.1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        self.server_lr = server_lr
+        self._last_params: np.ndarray | None = None
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        if self._last_params is None:
+            grad = np.zeros_like(global_params)
+        else:
+            # theta_t = theta_{t-1} - eta * G  =>  G = (prev - cur) / eta
+            grad = (self._last_params - global_params) / self.server_lr
+        self._last_params = global_params.copy()
+        return WorkerUpdate(
+            self.worker_id, grad, self.num_samples, attacked=True, buffers=None
+        )
+
+
+class SampleInflationWorker(Worker):
+    """Honest trainer that *lies about its sample count* (S5.2 discussion).
+
+    The baselines' utility functions trust the reported ``n_i``; a worker
+    claiming ``inflation``x its real data inflates its Ψ-based reward
+    share proportionally. FIFL's gradient-based contribution never reads
+    the claim, so the fraud buys nothing there (the claim does enter the
+    FedAvg weighting, which is the same exposure the paper's setting has).
+    """
+
+    is_malicious = True  # fraudulent, though its gradients are honest
+
+    def __init__(self, *args, inflation: float = 10.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if inflation < 1.0:
+            raise ValueError("inflation must be >= 1")
+        self.inflation = inflation
+
+    @property
+    def num_samples(self) -> int:  # type: ignore[override]
+        return int(self.inflation * len(self.dataset))
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        grad = self._local_gradient(global_params, global_buffers)
+        return WorkerUpdate(
+            self.worker_id,
+            grad,
+            self.num_samples,  # the fraudulent claim
+            attacked=False,  # the gradient itself is honest
+            buffers=self._buffers_out(),
+        )
+
+
+class ColludingAttacker(Worker):
+    """Coordinated small-perturbation attacker ("a little is enough").
+
+    The paper explicitly scopes FIFL to *disorganized* attackers (S4.1),
+    citing Baruch et al.: colluders can "hide the backdoor in small
+    changed gradients". This worker models that boundary: every colluder
+    sharing the same ``direction_seed`` adds the same small planted
+    direction to its honest gradient, scaled to ``epsilon`` of the honest
+    gradient's norm — small enough that the cosine score barely moves,
+    yet the shared bias survives averaging and steers the global model.
+    """
+
+    is_malicious = True
+
+    def __init__(self, *args, epsilon: float = 0.3, direction_seed: int = 42,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.direction_seed = direction_seed
+        self._direction: np.ndarray | None = None
+
+    def _planted_direction(self, size: int) -> np.ndarray:
+        if self._direction is None or self._direction.size != size:
+            rng = np.random.default_rng(self.direction_seed)
+            d = rng.normal(size=size)
+            self._direction = d / np.linalg.norm(d)
+        return self._direction
+
+    def compute_update(
+        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        honest = self._local_gradient(global_params, global_buffers)
+        direction = self._planted_direction(honest.size)
+        grad = honest + self.epsilon * np.linalg.norm(honest) * direction
+        return WorkerUpdate(
+            self.worker_id,
+            grad,
+            self.num_samples,
+            attacked=True,
+            buffers=self._buffers_out(),
+        )

@@ -1,0 +1,91 @@
+"""The paper's audit protocol (S4.5) over the blockchain ledger.
+
+When worker ``i`` suspects its reputation was manipulated, the task
+publisher replays the detection outcomes recorded on the chain through an
+independent reputation calculator and compares each round's recomputed
+value with the value the server committed. A mismatch pinpoints the round
+and — via the block signature — the server that signed the bad record,
+which is then removed from the cluster.
+
+Records are the dictionaries :class:`repro.core.FIFLMechanism` commits:
+``{"round": t, "accepted": {worker: bool}, "reputations": {worker: float}, ...}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.reputation import DecayReputation
+from .blockchain import Blockchain
+
+__all__ = ["AuditFinding", "AuditReport", "audit_reputation"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One inconsistent ledger entry."""
+
+    block_index: int
+    round_idx: int
+    signer: str
+    recorded: float
+    recomputed: float
+
+
+@dataclass
+class AuditReport:
+    """Outcome of replaying one worker's reputation from the chain."""
+
+    worker: int
+    findings: list[AuditFinding] = field(default_factory=list)
+    chain_intact: bool = True
+    rounds_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True iff the chain verifies and every round matches."""
+        return self.chain_intact and not self.findings
+
+    def implicated_signers(self) -> set[str]:
+        """Servers whose signed records disagree with the recomputation."""
+        return {f.signer for f in self.findings}
+
+
+def audit_reputation(
+    chain: Blockchain,
+    worker: int,
+    gamma: float,
+    initial: float = 0.0,
+    tolerance: float = 1e-9,
+) -> AuditReport:
+    """Recompute worker ``i``'s reputation trajectory from the ledger.
+
+    Parameters mirror the mechanism's reputation config; the auditor must
+    use the same ``gamma`` and initial value the federation declared.
+    """
+    report = AuditReport(worker=worker)
+    report.chain_intact = chain.is_intact()
+    replay = DecayReputation(gamma=gamma, initial=initial)
+    worker_key = str(worker)  # canonical payloads have string keys
+    for blk in chain.blocks:
+        payload = blk.payload
+        if not isinstance(payload, dict) or "reputations" not in payload:
+            continue  # not a FIFL round record
+        accepted = payload.get("accepted", {})
+        if worker_key not in payload["reputations"]:
+            continue
+        outcome = accepted.get(worker_key)  # None = uncertain event
+        recomputed = replay.update(worker, outcome)
+        recorded = float(payload["reputations"][worker_key])
+        report.rounds_checked += 1
+        if abs(recorded - recomputed) > tolerance:
+            report.findings.append(
+                AuditFinding(
+                    block_index=blk.index,
+                    round_idx=int(payload.get("round", -1)),
+                    signer=blk.signer,
+                    recorded=recorded,
+                    recomputed=recomputed,
+                )
+            )
+    return report

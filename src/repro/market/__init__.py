@@ -1,0 +1,12 @@
+"""Worker-market simulation for the incentive comparison (paper S5.2)."""
+
+from .market import MECHANISMS, MarketConfig, MarketOutcome, MarketSimulator
+from .quality import measure_fifl_weights
+
+__all__ = [
+    "MECHANISMS",
+    "MarketConfig",
+    "MarketOutcome",
+    "MarketSimulator",
+    "measure_fifl_weights",
+]

@@ -1,0 +1,297 @@
+"""Worker-market simulator for the incentive-comparison experiments (S5.2).
+
+The paper's setup: 20 workers with sample counts ~ U[1, 10000], grouped
+into ten 1000-wide quality deciles. Five federations — one per incentive
+mechanism — compete for them. Every mechanism distributes the same total
+budget ``I_sum``; a worker's probability of joining a federation equals
+its *relative* reward share there (the mechanism's "attractiveness" to
+that worker). Experiments average 100 repetitions of 500 iterations.
+
+Outputs map one-to-one onto the paper's figures:
+
+* :meth:`MarketSimulator.reward_distribution` -> Fig. 4(a)
+* :meth:`MarketSimulator.attractiveness`      -> Fig. 4(b)
+* :meth:`MarketSimulator.simulate_market`     -> Fig. 5(a)/(b)
+* :meth:`MarketSimulator.unreliable_revenues` -> Fig. 6
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.baselines import BASELINE_WEIGHTS
+from .quality import measure_fifl_weights
+
+__all__ = ["MarketConfig", "MECHANISMS", "MarketOutcome", "MarketSimulator"]
+
+#: Mechanism names in the paper's plotting order.
+MECHANISMS = ("fifl", "individual", "equal", "union", "shapley")
+
+
+@dataclass
+class MarketConfig:
+    """Population and simulation parameters (paper defaults)."""
+
+    num_workers: int = 20
+    min_samples: int = 1
+    max_samples: int = 10_000
+    num_groups: int = 10
+    iterations: int = 500
+    repetitions: int = 100
+    total_budget: float = 1.0
+    fifl_probe_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 2:
+            raise ValueError("need at least two workers")
+        if not 1 <= self.min_samples < self.max_samples:
+            raise ValueError("need 1 <= min_samples < max_samples")
+        if self.num_groups <= 0 or self.iterations <= 0 or self.repetitions <= 0:
+            raise ValueError("num_groups/iterations/repetitions must be positive")
+        if self.total_budget <= 0:
+            raise ValueError("total_budget must be positive")
+
+
+@dataclass
+class MarketOutcome:
+    """Aggregated results of one full market simulation."""
+
+    # mechanism -> per-group mean reward (Fig. 4a)
+    group_rewards: dict[str, np.ndarray]
+    # mechanism -> per-group mean attractiveness (Fig. 4b)
+    group_attractiveness: dict[str, np.ndarray]
+    # mechanism -> fraction of population data attracted (Fig. 5a)
+    data_share: dict[str, float]
+    # mechanism -> revenue relative to FIFL in percent (Fig. 5b)
+    relative_revenue: dict[str, float]
+    group_edges: np.ndarray = field(default_factory=lambda: np.array([]))
+
+
+class MarketSimulator:
+    """Monte-Carlo simulator of workers choosing among federations."""
+
+    def __init__(self, config: MarketConfig | None = None, seed: int = 0):
+        self.config = config if config is not None else MarketConfig()
+        self.seed = seed
+
+    # -- population ---------------------------------------------------------
+
+    def draw_population(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample counts ~ U[min, max] for each worker."""
+        cfg = self.config
+        return rng.integers(cfg.min_samples, cfg.max_samples + 1, size=cfg.num_workers)
+
+    def group_of(self, samples: np.ndarray) -> np.ndarray:
+        """Quality-decile index per worker (paper: width-1000 bins)."""
+        cfg = self.config
+        width = (cfg.max_samples - cfg.min_samples + 1) / cfg.num_groups
+        groups = ((samples - cfg.min_samples) / width).astype(int)
+        return np.clip(groups, 0, cfg.num_groups - 1)
+
+    # -- per-mechanism weights -----------------------------------------------
+
+    def mechanism_weights(
+        self, samples: np.ndarray, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        """Normalized reward shares per mechanism for this population."""
+        shares: dict[str, np.ndarray] = {}
+        for name, fn in BASELINE_WEIGHTS.items():
+            w = np.asarray(fn(samples.astype(float)), dtype=np.float64)
+            shares[name] = w / w.sum()
+        fifl = measure_fifl_weights(
+            samples, seed=seed, n_probe_rounds=self.config.fifl_probe_rounds
+        )
+        total = fifl.sum()
+        shares["fifl"] = fifl / total if total > 0 else fifl
+        return shares
+
+    # -- figure-level quantities ----------------------------------------------
+
+    def reward_distribution(
+        self, repetitions: int | None = None
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Fig. 4(a): mean reward per quality group per mechanism."""
+        cfg = self.config
+        reps = repetitions if repetitions is not None else cfg.repetitions
+        sums = {m: np.zeros(cfg.num_groups) for m in MECHANISMS}
+        counts = {m: np.zeros(cfg.num_groups) for m in MECHANISMS}
+        rng = np.random.default_rng(self.seed)
+        for rep in range(reps):
+            samples = self.draw_population(rng)
+            groups = self.group_of(samples)
+            shares = self.mechanism_weights(samples, seed=self.seed * 7919 + rep)
+            for m in MECHANISMS:
+                rewards = shares[m] * cfg.total_budget
+                np.add.at(sums[m], groups, rewards)
+                np.add.at(counts[m], groups, 1.0)
+        means = {
+            m: np.divide(
+                sums[m], counts[m], out=np.zeros(cfg.num_groups), where=counts[m] > 0
+            )
+            for m in MECHANISMS
+        }
+        edges = np.linspace(
+            self.config.min_samples, self.config.max_samples, cfg.num_groups + 1
+        )
+        return means, edges
+
+    @staticmethod
+    def attractiveness_of(shares: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Per-worker relative reward proportion across mechanisms."""
+        stacked = np.stack([shares[m] for m in MECHANISMS])
+        totals = stacked.sum(axis=0)
+        totals[totals == 0] = 1.0
+        rel = stacked / totals
+        return {m: rel[i] for i, m in enumerate(MECHANISMS)}
+
+    def attractiveness(
+        self, repetitions: int | None = None
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Fig. 4(b): mean attractiveness per quality group per mechanism."""
+        cfg = self.config
+        reps = repetitions if repetitions is not None else cfg.repetitions
+        sums = {m: np.zeros(cfg.num_groups) for m in MECHANISMS}
+        counts = np.zeros(cfg.num_groups)
+        rng = np.random.default_rng(self.seed)
+        for rep in range(reps):
+            samples = self.draw_population(rng)
+            groups = self.group_of(samples)
+            shares = self.mechanism_weights(samples, seed=self.seed * 7919 + rep)
+            attr = self.attractiveness_of(shares)
+            for m in MECHANISMS:
+                np.add.at(sums[m], groups, attr[m])
+            np.add.at(counts, groups, 1.0)
+        safe = np.where(counts > 0, counts, 1.0)
+        means = {m: sums[m] / safe for m in MECHANISMS}
+        edges = np.linspace(
+            self.config.min_samples, self.config.max_samples, cfg.num_groups + 1
+        )
+        return means, edges
+
+    def simulate_market(
+        self, repetitions: int | None = None, iterations: int | None = None
+    ) -> MarketOutcome:
+        """Fig. 5: greedy joining -> data share and relative revenue."""
+        cfg = self.config
+        reps = repetitions if repetitions is not None else cfg.repetitions
+        iters = iterations if iterations is not None else cfg.iterations
+        rng = np.random.default_rng(self.seed)
+        data_attracted = {m: 0.0 for m in MECHANISMS}
+        revenue_sums = {m: 0.0 for m in MECHANISMS}
+        group_rewards, edges = self.reward_distribution(repetitions=min(reps, 10))
+        group_attr, _ = self.attractiveness(repetitions=min(reps, 10))
+
+        for rep in range(reps):
+            samples = self.draw_population(rng)
+            shares = self.mechanism_weights(samples, seed=self.seed * 7919 + rep)
+            attr = self.attractiveness_of(shares)
+            probs = np.stack([attr[m] for m in MECHANISMS])  # (M, N)
+            # normalize defensively (zero-share workers join uniformly)
+            col = probs.sum(axis=0)
+            probs[:, col == 0] = 1.0 / len(MECHANISMS)
+            probs /= probs.sum(axis=0, keepdims=True)
+            # Each iteration every worker picks one federation to train with.
+            choices = np.empty((iters, cfg.num_workers), dtype=int)
+            for i in range(cfg.num_workers):
+                choices[:, i] = rng.choice(len(MECHANISMS), size=iters, p=probs[:, i])
+            for k, m in enumerate(MECHANISMS):
+                member_mask = choices == k  # (iters, N)
+                attracted = (member_mask * samples).sum(axis=1)  # per iteration
+                data_attracted[m] += float(attracted.sum())
+                revenue_sums[m] += float(np.log1p(attracted).sum())
+
+        total_data = sum(data_attracted.values())
+        data_share = {m: data_attracted[m] / total_data for m in MECHANISMS}
+        fifl_rev = revenue_sums["fifl"]
+        relative = {
+            m: 100.0 * (revenue_sums[m] - fifl_rev) / fifl_rev for m in MECHANISMS
+        }
+        return MarketOutcome(
+            group_rewards=group_rewards,
+            group_attractiveness=group_attr,
+            data_share=data_share,
+            relative_revenue=relative,
+            group_edges=edges,
+        )
+
+    # -- unreliable federations (Fig. 6) -----------------------------------------
+
+    def unreliable_revenues(
+        self,
+        attack_degrees: tuple[float, ...] = (0.05, 0.15, 0.25, 0.385),
+        unreliable_fraction: float = 0.385,
+        repetitions: int | None = None,
+        detection_rate: float = 1.0,
+    ) -> dict[float, dict[str, float]]:
+        """Fig. 6: revenue of each mechanism relative to FIFL under attack.
+
+        Composition of the paper's two experimental ingredients:
+
+        1. the *market*: honest workers join federations with probability
+           proportional to their attractiveness there, so mechanisms that
+           pay high-quality workers more hold more honest data;
+        2. the *attack model*: a fraction of the population are attackers
+           whose claimed data is worthless. Undetected attackers (a) scale
+           the federation's gross revenue down by the scenario attack
+           degree ℧ (model damage) and (b) absorb their reward share of
+           the budget (wasted expenditure). FIFL detects attackers at
+           ``detection_rate`` and both excludes and refuses to pay them.
+
+        Net revenue per repetition:
+
+            net_m = Ψ(honest member data) * (1 - ℧ * undetected?)
+                    - I_sum * (share of rewards paid to attackers)
+
+        Returned values are percentages relative to FIFL (FIFL = 0).
+        """
+        cfg = self.config
+        if not 0.0 < unreliable_fraction < 1.0:
+            raise ValueError("unreliable_fraction must be in (0, 1)")
+        if not 0.0 <= detection_rate <= 1.0:
+            raise ValueError("detection_rate must be in [0, 1]")
+        for degree in attack_degrees:
+            if not 0.0 <= degree <= 1.0:
+                raise ValueError("attack degrees must be in [0, 1]")
+        reps = repetitions if repetitions is not None else cfg.repetitions
+        n_attackers = max(1, int(round(unreliable_fraction * cfg.num_workers)))
+
+        out: dict[float, dict[str, float]] = {}
+        for degree in attack_degrees:
+            rng = np.random.default_rng(self.seed)  # paired draws per degree
+            sums = {m: 0.0 for m in MECHANISMS}
+            for rep in range(reps):
+                samples = self.draw_population(rng).astype(float)
+                attackers = np.zeros(cfg.num_workers, dtype=bool)
+                attackers[
+                    rng.choice(cfg.num_workers, size=n_attackers, replace=False)
+                ] = True
+                detected = attackers & (rng.random(cfg.num_workers) < detection_rate)
+                shares = self.mechanism_weights(
+                    samples.astype(np.int64), seed=self.seed * 7919 + rep
+                )
+                attr = self.attractiveness_of(shares)
+                for m in MECHANISMS:
+                    join_p = attr[m].copy()
+                    if m == "fifl":
+                        # detected attackers are expelled before they can
+                        # contribute (or collect) anything
+                        join_p = np.where(detected, 0.0, join_p)
+                    honest_member_data = float(
+                        (join_p * samples * ~attackers).sum()
+                    )
+                    gross = float(np.log1p(honest_member_data))
+                    undetected = attackers if m != "fifl" else (attackers & ~detected)
+                    damage = degree * gross if undetected.any() else 0.0
+                    share_vec = shares[m]
+                    if m == "fifl":
+                        wasted = float(share_vec[attackers & ~detected].sum())
+                    else:
+                        wasted = float(share_vec[attackers].sum())
+                    sums[m] += max(0.0, gross - damage - cfg.total_budget * wasted)
+            fifl_rev = sums["fifl"]
+            out[degree] = {
+                m: 100.0 * (sums[m] - fifl_rev) / fifl_rev for m in MECHANISMS
+            }
+        return out

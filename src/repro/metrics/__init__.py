@@ -1,0 +1,14 @@
+"""Metrics: detection confusion rates and reporting utilities."""
+
+from .detection import ConfusionCounts, aggregate_confusion, confusion
+from .series import auc, final_value, moving_average, relative_percent
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion",
+    "aggregate_confusion",
+    "moving_average",
+    "final_value",
+    "relative_percent",
+    "auc",
+]

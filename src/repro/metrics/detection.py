@@ -1,0 +1,88 @@
+"""Detection-quality metrics for the attack-detection experiments (Fig. 9).
+
+Convention follows the paper: a *positive* event is an honest/useful
+gradient (``r_i = 1``), a *negative* event is a Byzantine one. So
+
+* TP rate — fraction of honest gradients accepted;
+* TN rate — fraction of attacker gradients rejected;
+* detection accuracy — overall fraction classified correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConfusionCounts", "confusion", "aggregate_confusion"]
+
+
+@dataclass
+class ConfusionCounts:
+    """Counts over (prediction = accepted?, truth = honest?)."""
+
+    tp: int = 0  # honest, accepted
+    fn: int = 0  # honest, rejected (false alarm)
+    tn: int = 0  # attacker, rejected
+    fp: int = 0  # attacker, accepted (missed attack)
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fn + self.tn + self.fp
+
+    @property
+    def accuracy(self) -> float:
+        """Overall detection accuracy; 0 when no events."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def tp_rate(self) -> float:
+        """Honest gradients accepted / honest gradients (sensitivity)."""
+        pos = self.tp + self.fn
+        return self.tp / pos if pos else 0.0
+
+    @property
+    def tn_rate(self) -> float:
+        """Attacker gradients rejected / attacker gradients (specificity)."""
+        neg = self.tn + self.fp
+        return self.tn / neg if neg else 0.0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.tp + other.tp,
+            self.fn + other.fn,
+            self.tn + other.tn,
+            self.fp + other.fp,
+        )
+
+
+def confusion(
+    accepted: dict[int, bool], honest_truth: dict[int, bool]
+) -> ConfusionCounts:
+    """Confusion counts for one round.
+
+    ``accepted`` is the detector's ``r_i``; ``honest_truth[i]`` is True if
+    worker ``i`` actually uploaded an honest gradient this round. Workers
+    present in only one mapping are ignored (e.g. lost uploads).
+    """
+    c = ConfusionCounts()
+    for wid, r in accepted.items():
+        if wid not in honest_truth:
+            continue
+        if honest_truth[wid]:
+            if r:
+                c.tp += 1
+            else:
+                c.fn += 1
+        else:
+            if r:
+                c.fp += 1
+            else:
+                c.tn += 1
+    return c
+
+
+def aggregate_confusion(counts: list[ConfusionCounts]) -> ConfusionCounts:
+    """Sum per-round confusion counts over a training run."""
+    total = ConfusionCounts()
+    for c in counts:
+        total = total + c
+    return total

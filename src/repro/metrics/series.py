@@ -1,0 +1,46 @@
+"""Small series utilities used when reporting figure data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "final_value", "relative_percent", "auc"]
+
+
+def moving_average(values: list[float] | np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average with a warm-up (shorter prefix windows)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    out = np.empty_like(values)
+    csum = np.cumsum(values)
+    for i in range(values.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def final_value(values: list) -> float:
+    """Last non-None entry of a telemetry series."""
+    for v in reversed(values):
+        if v is not None:
+            return float(v)
+    raise ValueError("series has no recorded values")
+
+
+def relative_percent(value: float, reference: float) -> float:
+    """``100 * (value - reference) / reference``."""
+    if reference == 0.0:
+        raise ValueError("reference must be non-zero")
+    return 100.0 * (value - reference) / reference
+
+
+def auc(values: list[float] | np.ndarray) -> float:
+    """Trapezoidal area under a per-round series (convergence speed proxy)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < 2:
+        raise ValueError("need at least two points")
+    return float(np.trapezoid(values))

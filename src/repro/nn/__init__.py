@@ -1,0 +1,63 @@
+"""Pure-NumPy neural-network substrate (the paper's PyTorch substitution).
+
+Provides layers with hand-derived backprop, model containers exposing flat
+parameter/gradient vectors (the representation federated workers upload),
+losses, optimizers, reference architectures (LeNet, mini-ResNet), and a
+finite-difference gradient checker.
+"""
+
+from . import functional, initializers
+from .gradcheck import analytic_gradient, max_relative_error, numerical_gradient
+from .layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Layer,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from .losses import MSELoss, SoftmaxCrossEntropy
+from .model import Residual, Sequential
+from .models import build_lenet, build_logreg, build_mini_resnet, build_mlp
+from .optim import SGD, Adam, Optimizer
+from .schedules import ConstantLR, CosineLR, StepLR
+
+__all__ = [
+    "functional",
+    "initializers",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm",
+    "Residual",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "build_logreg",
+    "build_mlp",
+    "build_lenet",
+    "build_mini_resnet",
+    "analytic_gradient",
+    "numerical_gradient",
+    "max_relative_error",
+]

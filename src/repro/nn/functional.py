@@ -1,0 +1,144 @@
+"""Stateless numerical primitives used by the neural-network layers.
+
+Everything here is pure NumPy and fully vectorized; the hot paths
+(``im2col``/``col2im``) follow the classic stride-trick formulation so that
+convolutions reduce to a single GEMM, which is the dominant cost and maps
+onto BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "sigmoid",
+    "im2col",
+    "col2im",
+    "conv_out_size",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit, ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` with respect to its input (0/1 mask)."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with the max-subtraction stability trick."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log-softmax along ``axis``, computed without materializing softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer label vector ``(n,)`` -> one-hot matrix ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution/pooling window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size {out} for input={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold image patches into a matrix for GEMM-based convolution.
+
+    Parameters
+    ----------
+    x : array of shape ``(n, c, h, w)``.
+    kh, kw : kernel height/width.
+    stride, pad : stride and symmetric zero padding.
+
+    Returns
+    -------
+    Array of shape ``(n * oh * ow, c * kh * kw)`` where ``oh, ow`` are the
+    output spatial dims. Row ``i`` holds one receptive field, flattened in
+    ``(c, kh, kw)`` order.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    # (n, oh, ow, c, kh, kw) -> rows are receptive fields
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch gradients back to image.
+
+    ``cols`` has shape ``(n * oh * ow, c * kh * kw)``; returns gradient with
+    respect to the original ``(n, c, h, w)`` input (padding stripped).
+    """
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    # Scatter-add each kernel offset as one strided slice assignment; the
+    # loop is over the (small) kernel window, not the image.
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

@@ -1,0 +1,39 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so every
+experiment in the repository is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros", "normal"]
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He/Kaiming normal init, suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init, suited to linear/tanh layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    """Plain Gaussian init with given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

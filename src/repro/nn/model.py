@@ -1,0 +1,216 @@
+"""Model containers and parameter-vector utilities.
+
+The federated-learning layer treats a model as a *flat float64 vector* of
+parameters and gradients — that vector is exactly what workers upload and
+what the FIFL mechanism scores. :class:`Sequential` therefore exposes
+``get_flat_params`` / ``set_flat_params`` / ``get_flat_grads`` with a
+stable, deterministic ordering (layer order, then sorted param name).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential", "Residual"]
+
+
+class Residual(Layer):
+    """Residual wrapper: ``y = F(x) + shortcut(x)``.
+
+    ``body`` and optional ``shortcut`` are sequences of layers; when the
+    shortcut is empty the identity is used (shapes must then match).
+    This is the building block for the paper's ResNet-on-CIFAR10 setup.
+    """
+
+    def __init__(self, body: Iterable[Layer], shortcut: Iterable[Layer] = ()):
+        super().__init__()
+        self.body = list(body)
+        self.shortcut = list(shortcut)
+        if not self.body:
+            raise ValueError("Residual body must contain at least one layer")
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.body:
+            out = layer.forward(out, training=training)
+        sc = x
+        for layer in self.shortcut:
+            sc = layer.forward(sc, training=training)
+        if out.shape != sc.shape:
+            raise ValueError(
+                f"residual branch shapes differ: body {out.shape} vs "
+                f"shortcut {sc.shape}"
+            )
+        return out + sc
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_body = grad_out
+        for layer in reversed(self.body):
+            grad_body = layer.backward(grad_body)
+        grad_sc = grad_out
+        for layer in reversed(self.shortcut):
+            grad_sc = layer.backward(grad_sc)
+        return grad_body + grad_sc
+
+    def _sublayers(self) -> Iterator[Layer]:
+        yield from self.body
+        yield from self.shortcut
+
+
+def _walk(layers: Iterable[Layer]) -> Iterator[Layer]:
+    """Depth-first iteration over layers, descending into containers."""
+    for layer in layers:
+        if isinstance(layer, Residual):
+            yield from _walk(layer._sublayers())
+        else:
+            yield layer
+
+
+class Sequential:
+    """Ordered stack of layers with flat parameter-vector access."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    # -- forward / backward -------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass (no caches, eval statistics)."""
+        return self.forward(x, training=False)
+
+    # -- parameter bookkeeping ----------------------------------------------
+
+    def _param_layers(self) -> Iterator[Layer]:
+        for layer in _walk(self.layers):
+            if layer.params:
+                yield layer
+
+    def named_params(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Stable (name, array) iteration across all parameterized layers."""
+        for idx, layer in enumerate(self._param_layers()):
+            for name in sorted(layer.params):
+                yield f"{idx}.{type(layer).__name__}.{name}", layer.params[name]
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for _, p in self.named_params())
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all parameters into one float64 vector (copy)."""
+        chunks = [p.ravel() for _, p in self.named_params()]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks).astype(np.float64, copy=False)
+
+    def set_flat_params(self, vec: np.ndarray) -> None:
+        """Load parameters from a flat vector (inverse of get_flat_params)."""
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.ndim != 1 or vec.size != self.num_params:
+            raise ValueError(
+                f"expected flat vector of size {self.num_params}, got {vec.shape}"
+            )
+        offset = 0
+        for layer in self._param_layers():
+            for name in sorted(layer.params):
+                p = layer.params[name]
+                layer.params[name] = vec[offset : offset + p.size].reshape(p.shape).copy()
+                offset += p.size
+
+    # -- non-trainable buffers (BatchNorm running stats) -----------------------
+
+    def _buffer_layers(self) -> Iterator[Layer]:
+        for layer in _walk(self.layers):
+            if layer.buffers:
+                yield layer
+
+    @property
+    def num_buffer_values(self) -> int:
+        """Total scalar count of non-trainable buffers."""
+        return sum(
+            b.size for layer in self._buffer_layers() for b in layer.buffers.values()
+        )
+
+    def get_flat_buffers(self) -> np.ndarray:
+        """Concatenate all buffers (running stats) into one vector (copy)."""
+        chunks = [
+            layer.buffers[name].ravel()
+            for layer in self._buffer_layers()
+            for name in sorted(layer.buffers)
+        ]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks).astype(np.float64, copy=False)
+
+    def set_flat_buffers(self, vec: np.ndarray) -> None:
+        """Load buffers from a flat vector (inverse of get_flat_buffers)."""
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.ndim != 1 or vec.size != self.num_buffer_values:
+            raise ValueError(
+                f"expected buffer vector of size {self.num_buffer_values}, "
+                f"got {vec.shape}"
+            )
+        offset = 0
+        for layer in self._buffer_layers():
+            for name in sorted(layer.buffers):
+                b = layer.buffers[name]
+                layer.buffers[name] = (
+                    vec[offset : offset + b.size].reshape(b.shape).copy()
+                )
+                offset += b.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Concatenate parameter gradients from the last backward pass."""
+        chunks: list[np.ndarray] = []
+        for layer in self._param_layers():
+            for name in sorted(layer.params):
+                if name not in layer.grads:
+                    raise RuntimeError(
+                        f"{type(layer).__name__}.{name} has no gradient; "
+                        "run forward(training=True) + backward first"
+                    )
+                chunks.append(layer.grads[name].ravel())
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks).astype(np.float64, copy=False)
+
+    def apply_flat_grads(self, grad_vec: np.ndarray, lr: float) -> None:
+        """In-place SGD step ``theta -= lr * grad`` from a flat gradient."""
+        grad_vec = np.asarray(grad_vec, dtype=np.float64)
+        if grad_vec.size != self.num_params:
+            raise ValueError(
+                f"gradient vector size {grad_vec.size} != {self.num_params}"
+            )
+        offset = 0
+        for layer in self._param_layers():
+            for name in sorted(layer.params):
+                p = layer.params[name]
+                p -= lr * grad_vec[offset : offset + p.size].reshape(p.shape)
+                offset += p.size
+
+    def zero_grads(self) -> None:
+        """Drop cached gradients (fresh round)."""
+        for layer in _walk(self.layers):
+            layer.grads.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"Sequential([{inner}], params={self.num_params})"

@@ -1,0 +1,140 @@
+"""Model builders mirroring the paper's architectures.
+
+The paper trains LeNet on MNIST and a ResNet on CIFAR10. We provide:
+
+* :func:`build_logreg` — softmax regression, the fastest model for unit
+  tests and mechanism-only experiments;
+* :func:`build_mlp` — configurable fully connected network;
+* :func:`build_lenet` — LeNet-5-style CNN for ``(1, 28, 28)`` input;
+* :func:`build_mini_resnet` — small residual CNN for ``(3, 32, 32)`` input.
+
+All builders take a seed (or Generator) so federated workers start from an
+identical global model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+)
+from .model import Residual, Sequential
+
+__all__ = ["build_logreg", "build_mlp", "build_lenet", "build_mini_resnet"]
+
+
+def _as_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def build_logreg(in_features: int, num_classes: int, seed: int | np.random.Generator = 0) -> Sequential:
+    """Multinomial logistic regression (a single Dense layer)."""
+    rng = _as_rng(seed)
+    return Sequential([Dense(in_features, num_classes, rng)])
+
+
+def build_mlp(
+    in_features: int,
+    num_classes: int,
+    hidden: tuple[int, ...] = (64,),
+    seed: int | np.random.Generator = 0,
+) -> Sequential:
+    """Fully connected ReLU network with the given hidden widths."""
+    rng = _as_rng(seed)
+    layers: list = []
+    prev = in_features
+    for width in hidden:
+        layers.append(Dense(prev, width, rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Dense(prev, num_classes, rng))
+    return Sequential(layers)
+
+
+def build_lenet(
+    num_classes: int = 10,
+    in_channels: int = 1,
+    image_size: int = 28,
+    seed: int | np.random.Generator = 0,
+) -> Sequential:
+    """LeNet-style CNN: conv-pool-conv-pool-dense, sized for 28x28 input.
+
+    For ``image_size=28``: 28 -> conv5/pad2 -> 28 -> pool2 -> 14 ->
+    conv5 -> 10 -> pool2 -> 5, then 16*5*5 -> 120 -> 84 -> classes.
+    """
+    rng = _as_rng(seed)
+    c1, c2 = 6, 16
+    s1 = (image_size + 2 * 2 - 5) + 1  # conv1 out (pad=2, k=5)
+    s1p = s1 // 2
+    s2 = s1p - 5 + 1
+    s2p = s2 // 2
+    if s2p <= 0:
+        raise ValueError(f"image_size={image_size} too small for LeNet")
+    return Sequential(
+        [
+            Conv2d(in_channels, c1, kernel_size=5, rng=rng, padding=2),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(c2 * s2p * s2p, 120, rng),
+            ReLU(),
+            Dense(120, 84, rng),
+            ReLU(),
+            Dense(84, num_classes, rng),
+        ]
+    )
+
+
+def _res_block(channels: int, rng: np.random.Generator) -> Residual:
+    """Two 3x3 convs with batchnorm and an identity shortcut."""
+    return Residual(
+        body=[
+            Conv2d(channels, channels, kernel_size=3, rng=rng, padding=1),
+            BatchNorm(channels),
+            ReLU(),
+            Conv2d(channels, channels, kernel_size=3, rng=rng, padding=1),
+            BatchNorm(channels),
+        ]
+    )
+
+
+def build_mini_resnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width: int = 16,
+    num_blocks: int = 2,
+    seed: int | np.random.Generator = 0,
+) -> Sequential:
+    """Small residual CNN for CIFAR-like ``(3, 32, 32)`` input.
+
+    Stem conv -> ``num_blocks`` residual blocks -> global average pool ->
+    linear classifier. Kept deliberately narrow so a full federated round
+    runs in seconds on one CPU core while preserving the residual/batchnorm
+    structure of the paper's CIFAR10 model.
+    """
+    rng = _as_rng(seed)
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    layers: list = [
+        Conv2d(in_channels, width, kernel_size=3, rng=rng, padding=1),
+        BatchNorm(width),
+        ReLU(),
+        MaxPool2d(2),
+    ]
+    for _ in range(num_blocks):
+        layers.append(_res_block(width, rng))
+        layers.append(ReLU())
+    layers.extend([GlobalAvgPool2d(), Dense(width, num_classes, rng)])
+    return Sequential(layers)

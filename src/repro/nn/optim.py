@@ -1,0 +1,99 @@
+"""Optimizers operating on flat parameter vectors.
+
+Federated workers hold a :class:`~repro.nn.model.Sequential` model and an
+optimizer; the optimizer consumes flat gradient vectors (the same vectors
+the server-side mechanism scores) so local training and upload share one
+representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class mapping (params, grad) -> updated params, both flat."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (momentum buffers etc.)."""
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and decoupled weight decay."""
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if params.shape != grad.shape:
+            raise ValueError(f"shape mismatch {params.shape} vs {grad.shape}")
+        g = grad
+        if self.weight_decay:
+            g = g + self.weight_decay * params
+        if self.momentum:
+            if self._velocity is None or self._velocity.shape != g.shape:
+                self._velocity = np.zeros_like(g)
+            self._velocity *= self.momentum
+            self._velocity += g
+            g = self._velocity
+        return params - self.lr * g
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if params.shape != grad.shape:
+            raise ValueError(f"shape mismatch {params.shape} vs {grad.shape}")
+        if self._m is None or self._m.shape != grad.shape:
+            self._m = np.zeros_like(grad)
+            self._v = np.zeros_like(grad)
+            self._t = 0
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0

@@ -1,0 +1,68 @@
+"""Learning-rate schedules for the server-side global update.
+
+The paper trains with a fixed η (Eq. 3); these schedules are the standard
+extensions a practitioner reaches for on longer runs. They are plain
+callables ``round_idx -> lr`` so both the federated trainer and local
+optimizers can consume them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConstantLR", "StepLR", "CosineLR"]
+
+
+class ConstantLR:
+    """Fixed learning rate (the paper's setting)."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, round_idx: int) -> float:
+        return self.lr
+
+
+class StepLR:
+    """Multiply the rate by ``gamma`` every ``step_size`` rounds."""
+
+    def __init__(self, initial: float, step_size: int, gamma: float = 0.5):
+        if initial <= 0:
+            raise ValueError("initial lr must be positive")
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.initial = initial
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, round_idx: int) -> float:
+        if round_idx < 0:
+            raise ValueError("round_idx must be non-negative")
+        return self.initial * self.gamma ** (round_idx // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from ``initial`` to ``min_lr`` over ``total_rounds``."""
+
+    def __init__(self, initial: float, total_rounds: int, min_lr: float = 0.0):
+        if initial <= 0:
+            raise ValueError("initial lr must be positive")
+        if total_rounds <= 0:
+            raise ValueError("total_rounds must be positive")
+        if not 0.0 <= min_lr <= initial:
+            raise ValueError("min_lr must be in [0, initial]")
+        self.initial = initial
+        self.total_rounds = total_rounds
+        self.min_lr = min_lr
+
+    def __call__(self, round_idx: int) -> float:
+        if round_idx < 0:
+            raise ValueError("round_idx must be non-negative")
+        t = min(round_idx, self.total_rounds) / self.total_rounds
+        return self.min_lr + 0.5 * (self.initial - self.min_lr) * (
+            1.0 + np.cos(np.pi * t)
+        )

@@ -1,0 +1,137 @@
+"""Tests for the lossy message-passing network."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Network
+
+
+class TestSendRecv:
+    def test_roundtrip(self):
+        net = Network(3)
+        assert net.send(0, 1, "grad", np.arange(4.0))
+        msg = net.recv(1, 0, "grad")
+        np.testing.assert_array_equal(msg.payload, np.arange(4.0))
+        assert msg.src == 0 and msg.dst == 1 and msg.tag == "grad"
+
+    def test_fifo_order_per_link(self):
+        net = Network(2)
+        net.send(0, 1, "t", 1)
+        net.send(0, 1, "t", 2)
+        assert net.recv(1, 0, "t").payload == 1
+        assert net.recv(1, 0, "t").payload == 2
+
+    def test_tags_are_isolated(self):
+        net = Network(2)
+        net.send(0, 1, "a", "first")
+        net.send(0, 1, "b", "second")
+        assert net.recv(1, 0, "b").payload == "second"
+        assert net.recv(1, 0, "a").payload == "first"
+
+    def test_empty_recv_returns_none(self):
+        net = Network(2)
+        assert net.recv(1, 0, "none") is None
+
+    def test_rank_validation(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 5, "t", 1)
+        with pytest.raises(ValueError):
+            net.recv(-1, 0, "t")
+
+    def test_pending(self):
+        net = Network(2)
+        net.send(0, 1, "t", 1)
+        net.send(0, 1, "t", 2)
+        assert net.pending(1, 0, "t") == 2
+        net.recv(1, 0, "t")
+        assert net.pending(1, 0, "t") == 1
+
+
+class TestFailureInjection:
+    def test_no_drops_by_default(self):
+        net = Network(2, seed=0)
+        assert all(net.send(0, 1, "t", i) for i in range(100))
+        assert net.drop_log.count() == 0
+
+    def test_global_drop_rate_approximate(self):
+        net = Network(2, drop_prob=0.3, seed=1)
+        sent = sum(net.send(0, 1, "t", i) for i in range(2000))
+        assert 0.6 < sent / 2000 < 0.8
+        assert net.drop_log.count() == 2000 - sent
+
+    def test_per_link_override(self):
+        net = Network(3, drop_prob=0.0, seed=2)
+        net.set_link_drop_prob(0, 1, 1.0)
+        assert not net.send(0, 1, "t", 1)
+        assert net.send(0, 2, "t", 1)
+
+    def test_drop_log_filters(self):
+        net = Network(3, seed=0)
+        net.set_link_drop_prob(0, 1, 1.0)
+        net.set_link_drop_prob(2, 1, 1.0)
+        net.send(0, 1, "t", 1)
+        net.send(2, 1, "t", 1)
+        assert net.drop_log.count(src=0) == 1
+        assert net.drop_log.count(dst=1) == 2
+
+    def test_invalid_drop_prob(self):
+        with pytest.raises(ValueError):
+            Network(2, drop_prob=1.0)
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.set_link_drop_prob(0, 1, -0.1)
+
+
+class TestCollectives:
+    def test_bcast_reaches_all(self):
+        net = Network(4)
+        reached = net.bcast(0, [1, 2, 3], "model", np.zeros(3))
+        assert reached == [1, 2, 3]
+        for d in (1, 2, 3):
+            assert net.recv(d, 0, "model") is not None
+
+    def test_gather_collects_present(self):
+        net = Network(4)
+        net.send(1, 0, "g", "one")
+        net.send(3, 0, "g", "three")
+        got = net.gather(0, [1, 2, 3], "g")
+        assert got == {1: "one", 3: "three"}
+
+    def test_scatter_distinct_payloads(self):
+        net = Network(3)
+        net.scatter(0, {1: "a", 2: "b"}, "slice")
+        assert net.recv(1, 0, "slice").payload == "a"
+        assert net.recv(2, 0, "slice").payload == "b"
+
+
+class TestAccounting:
+    def test_array_bytes_counted(self):
+        net = Network(2)
+        net.send(0, 1, "g", np.zeros(10))  # 80 bytes
+        assert net.bytes_sent[(0, 1)] == 80
+        assert net.total_bytes() == 80
+
+    def test_nested_payload_bytes(self):
+        net = Network(2)
+        net.send(0, 1, "g", {"a": np.zeros(2), "b": [np.zeros(3), 1.5]})
+        assert net.total_bytes() == 16 + 24 + 8
+
+    def test_dropped_messages_not_counted(self):
+        net = Network(2, seed=0)
+        net.set_link_drop_prob(0, 1, 1.0)
+        net.send(0, 1, "g", np.zeros(10))
+        assert net.total_bytes() == 0
+
+    def test_reset_stats_keeps_queues(self):
+        net = Network(2)
+        net.send(0, 1, "g", np.zeros(4))
+        net.reset_stats()
+        assert net.total_bytes() == 0
+        assert net.recv(1, 0, "g") is not None
+
+    def test_delivered_counter(self):
+        net = Network(2)
+        net.send(0, 1, "g", 1)
+        net.recv(1, 0, "g")
+        assert net.messages_delivered == 1

@@ -1,0 +1,83 @@
+"""Tests for FL communication topologies."""
+
+import pytest
+
+from repro.comm import (
+    centralized_topology,
+    decentralized_topology,
+    link_count,
+    polycentric_topology,
+    validate_roles,
+)
+
+
+class TestCentralized:
+    def test_star_structure(self):
+        g = centralized_topology(5)
+        servers, workers = validate_roles(g)
+        assert servers == [0]
+        assert workers == [0, 1, 2, 3, 4]
+        assert link_count(g) == 4
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            centralized_topology(0)
+
+
+class TestDecentralized:
+    def test_complete_graph(self):
+        g = decentralized_topology(4)
+        servers, workers = validate_roles(g)
+        assert servers == workers == [0, 1, 2, 3]
+        assert link_count(g) == 6  # C(4,2)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            decentralized_topology(1)
+
+
+class TestPolycentric:
+    def test_servers_subset_of_workers(self):
+        g = polycentric_topology(6, [0, 2])
+        servers, workers = validate_roles(g)
+        assert servers == [0, 2]
+        assert workers == list(range(6))
+
+    def test_every_worker_reaches_every_server(self):
+        g = polycentric_topology(6, [0, 2, 4])
+        for s in (0, 2, 4):
+            for w in range(6):
+                if w != s:
+                    assert g.has_edge(s, w)
+
+    def test_link_count_between_extremes(self):
+        # centralized <= polycentric <= decentralized
+        n = 8
+        c = link_count(centralized_topology(n))
+        p = link_count(polycentric_topology(n, [0, 1, 2]))
+        d = link_count(decentralized_topology(n))
+        assert c <= p <= d
+
+    def test_rejects_invalid_server_rank(self):
+        with pytest.raises(ValueError):
+            polycentric_topology(4, [5])
+        with pytest.raises(ValueError):
+            polycentric_topology(4, [])
+
+    def test_reduces_to_centralized_with_one_server(self):
+        g = polycentric_topology(5, [0])
+        assert link_count(g) == link_count(centralized_topology(5))
+
+    def test_reduces_to_decentralized_with_all_servers(self):
+        g = polycentric_topology(4, [0, 1, 2, 3])
+        assert link_count(g) == link_count(decentralized_topology(4))
+
+
+class TestValidateRoles:
+    def test_missing_role_raises(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            validate_roles(g)

@@ -1,0 +1,148 @@
+"""Tests for the baseline incentive mechanisms (Eq. 18-22)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BASELINE_WEIGHTS,
+    equal_weights,
+    individual_weights,
+    shapley_enumeration,
+    shapley_montecarlo,
+    shapley_sum_dp,
+    shapley_weights,
+    union_weights,
+)
+
+
+class TestIndividual:
+    def test_eq19(self):
+        np.testing.assert_allclose(
+            individual_weights(np.array([0.0, np.e - 1])), [0.0, 1.0]
+        )
+
+    def test_monotone_in_samples(self):
+        w = individual_weights(np.array([10.0, 100.0, 1000.0]))
+        assert w[0] < w[1] < w[2]
+
+
+class TestEqual:
+    def test_eq20(self):
+        np.testing.assert_allclose(equal_weights(4), [0.25] * 4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            equal_weights(0)
+
+
+class TestUnion:
+    def test_eq21_definition(self):
+        samples = np.array([10.0, 20.0])
+        w = union_weights(samples)
+        assert w[0] == pytest.approx(np.log1p(30) - np.log1p(20))
+        assert w[1] == pytest.approx(np.log1p(30) - np.log1p(10))
+
+    def test_marginal_smaller_than_individual(self):
+        # concavity: joining a large federation adds less than solo utility
+        samples = np.array([100.0, 100.0, 100.0])
+        assert (union_weights(samples) < individual_weights(samples)).all()
+
+    def test_bigger_worker_bigger_weight(self):
+        w = union_weights(np.array([10.0, 1000.0]))
+        assert w[1] > w[0]
+
+
+class TestShapleyExactness:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        samples=st.lists(st.integers(1, 500), min_size=2, max_size=7),
+    )
+    def test_property_dp_matches_enumeration(self, samples):
+        samples = np.array(samples, dtype=float)
+        np.testing.assert_allclose(
+            shapley_sum_dp(samples), shapley_enumeration(samples), rtol=1e-9
+        )
+
+    def test_known_two_player(self):
+        # symmetric players split the surplus equally
+        phis = shapley_sum_dp(np.array([100.0, 100.0]))
+        assert phis[0] == pytest.approx(phis[1])
+        assert phis.sum() == pytest.approx(np.log1p(200))
+
+    def test_efficiency_axiom(self):
+        samples = np.array([3.0, 14.0, 159.0, 26.0])
+        phis = shapley_sum_dp(samples)
+        assert phis.sum() == pytest.approx(np.log1p(samples.sum()))
+
+    def test_null_player_axiom(self):
+        phis = shapley_sum_dp(np.array([0.0, 50.0]))
+        assert phis[0] == pytest.approx(0.0)
+
+    def test_symmetry_axiom(self):
+        phis = shapley_sum_dp(np.array([7.0, 7.0, 100.0]))
+        assert phis[0] == pytest.approx(phis[1])
+
+    def test_montecarlo_close_to_exact(self):
+        samples = np.array([10.0, 200.0, 3000.0, 40.0, 500.0])
+        exact = shapley_sum_dp(samples)
+        mc = shapley_montecarlo(samples, n_permutations=3000, seed=0)
+        np.testing.assert_allclose(mc, exact, atol=0.1)
+        # and the estimator tightens with more permutations
+        mc_big = shapley_montecarlo(samples, n_permutations=20000, seed=0)
+        assert np.abs(mc_big - exact).max() < np.abs(mc - exact).max()
+
+    def test_montecarlo_efficiency_exact_per_permutation(self):
+        # telescoping: every permutation's marginals sum to Psi(total)
+        samples = np.array([5.0, 6.0, 7.0])
+        mc = shapley_montecarlo(samples, n_permutations=3, seed=1)
+        assert mc.sum() == pytest.approx(np.log1p(18))
+
+    def test_enumeration_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            shapley_enumeration(np.ones(16))
+
+    def test_dp_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            shapley_sum_dp(np.array([1.5, 2.0]))
+
+
+class TestShapleyDispatch:
+    def test_auto_integer_uses_dp(self):
+        samples = np.arange(1.0, 21.0)  # N=20, the paper's size
+        phis = shapley_weights(samples)
+        assert phis.sum() == pytest.approx(np.log1p(samples.sum()))
+
+    def test_auto_non_integer_small_uses_enum(self):
+        samples = np.array([1.5, 2.5, 3.5])
+        np.testing.assert_allclose(
+            shapley_weights(samples), shapley_enumeration(samples)
+        )
+
+    def test_explicit_methods(self):
+        samples = np.array([2.0, 4.0])
+        for method in ("dp", "enum", "montecarlo"):
+            phis = shapley_weights(samples, method=method, n_permutations=500)
+            assert phis.sum() == pytest.approx(np.log1p(6), abs=1e-6)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            shapley_weights(np.array([1.0]), method="exactish")
+
+
+class TestRegistry:
+    def test_all_four_baselines_present(self):
+        assert set(BASELINE_WEIGHTS) == {"individual", "equal", "union", "shapley"}
+
+    def test_registry_weights_are_positive(self):
+        samples = np.array([10.0, 100.0, 1000.0])
+        for name, fn in BASELINE_WEIGHTS.items():
+            w = fn(samples)
+            assert (np.asarray(w) > 0).all(), name
+
+    def test_validation_shared(self):
+        with pytest.raises(ValueError):
+            individual_weights(np.array([]))
+        with pytest.raises(ValueError):
+            union_weights(np.array([-1.0]))

@@ -1,0 +1,65 @@
+"""Unit tests for the mechanism's SLM reputation mode and config."""
+
+import pytest
+
+from repro.core import DetectionConfig, FIFLConfig, FIFLMechanism
+from repro.fl import FederatedTrainer, SignFlippingWorker
+from repro.nn import build_logreg
+
+from tests.helpers import N_CLASSES, N_FEATURES, make_federation
+
+
+def run_mech(reputation_mode, rounds=6, slm_period=3, seed=0):
+    workers, _, test = make_federation(num_workers=5, seed=seed)
+    workers[4] = make_federation(
+        num_workers=5, seed=seed,
+        worker_cls=SignFlippingWorker, worker_kwargs={"p_s": 5.0},
+    )[0][4]
+    mech = FIFLMechanism(
+        FIFLConfig(
+            detection=DetectionConfig(threshold=0.0),
+            gamma=0.3,
+            reputation_mode=reputation_mode,
+            slm_period=slm_period,
+        )
+    )
+    model = build_logreg(N_FEATURES, N_CLASSES, seed=seed)
+    trainer = FederatedTrainer(model, workers, [0], test_data=test,
+                               mechanism=mech, server_lr=0.1)
+    trainer.run(rounds, eval_every=rounds)
+    return mech
+
+
+class TestSLMMode:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FIFLConfig(reputation_mode="bayesian")
+        with pytest.raises(ValueError):
+            FIFLConfig(reputation_mode="slm", slm_period=0)
+
+    def test_slm_reputations_used_in_records(self):
+        mech = run_mech("slm")
+        # the honest workers' SLM reputation saturates at alpha_t = 1
+        rec = mech.records[-1]
+        for w in range(4):
+            assert rec.reputations[w] == pytest.approx(1.0)
+        # the consistently-rejected attacker sits at -alpha_n
+        assert rec.reputations[4] == pytest.approx(-1.0)
+
+    def test_slm_period_reset_clears_counts(self):
+        mech = run_mech("slm", rounds=4, slm_period=2)
+        # after the reset at round 2, round 3's counts restart: one event
+        assert mech.slm.positives.get(0, 0) + mech.slm.negatives.get(0, 0) <= 2
+
+    def test_decay_mode_still_tracks_slm_counts(self):
+        mech = run_mech("decay", rounds=4, slm_period=100)
+        # both estimators observe the same events regardless of mode
+        assert mech.slm.positives.get(0, 0) == 4
+        assert mech.slm.negatives.get(4, 0) == 4
+
+    def test_modes_agree_on_who_is_worst(self):
+        slm = run_mech("slm")
+        decay = run_mech("decay")
+        worst_slm = min(slm.records[-1].reputations, key=slm.records[-1].reputations.get)
+        worst_decay = min(decay.records[-1].reputations, key=decay.records[-1].reputations.get)
+        assert worst_slm == worst_decay == 4

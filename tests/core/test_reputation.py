@@ -1,0 +1,142 @@
+"""Tests for reputation: SLM, time decay, and Theorem 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecayReputation, SLMReputation, theorem1_fixed_point
+
+
+class TestSLM:
+    def test_trust_scores_eq8(self):
+        slm = SLMReputation()
+        for _ in range(3):
+            slm.record(0, True)
+        slm.record(0, False)
+        st_, sn, su = slm.trust_scores(0)
+        assert su == 0.0
+        assert st_ == pytest.approx(0.75)
+        assert sn == pytest.approx(0.25)
+
+    def test_uncertainty_mass(self):
+        slm = SLMReputation()
+        slm.record(0, True)
+        slm.record(0, None)
+        st_, sn, su = slm.trust_scores(0)
+        assert su == pytest.approx(0.5)
+        assert st_ == pytest.approx(0.5)  # (1-0.5) * 1/1
+
+    def test_reputation_eq9_weighting(self):
+        slm = SLMReputation(alpha_t=2.0, alpha_n=1.0, alpha_u=0.5)
+        slm.record(0, True)
+        slm.record(0, False)
+        st_, sn, su = slm.trust_scores(0)
+        assert slm.reputation(0) == pytest.approx(2 * st_ - sn - 0.5 * su)
+
+    def test_unknown_worker_neutral(self):
+        slm = SLMReputation()
+        assert slm.reputation(42) == 0.0
+
+    def test_reset_period(self):
+        slm = SLMReputation()
+        slm.record(0, True)
+        slm.reset_period()
+        assert slm.trust_scores(0) == (0.0, 0.0, 0.0)
+
+    def test_all_positive_full_trust(self):
+        slm = SLMReputation()
+        for _ in range(10):
+            slm.record(1, True)
+        assert slm.reputation(1) == pytest.approx(1.0)
+
+
+class TestDecayReputation:
+    def test_eq10_recursion(self):
+        rep = DecayReputation(gamma=0.25, initial=0.0)
+        assert rep.update(0, True) == pytest.approx(0.25)
+        assert rep.update(0, True) == pytest.approx(0.4375)
+        assert rep.update(0, False) == pytest.approx(0.328125)
+
+    def test_uncertain_event_freezes(self):
+        rep = DecayReputation(gamma=0.5)
+        rep.update(0, True)
+        before = rep.reputation(0)
+        rep.update(0, None)
+        assert rep.reputation(0) == before
+        # but history records the (unchanged) value
+        assert len(rep.history(0)) == 2
+
+    def test_initial_value(self):
+        rep = DecayReputation(gamma=0.1, initial=0.7)
+        assert rep.reputation(99) == 0.7
+
+    def test_update_all(self):
+        rep = DecayReputation(gamma=0.5)
+        out = rep.update_all({0: True, 1: False, 2: None})
+        assert out[0] == 0.5 and out[1] == 0.0 and out[2] == 0.0
+
+    def test_bounded_in_unit_interval(self):
+        rep = DecayReputation(gamma=0.3)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            rep.update(0, bool(rng.random() < 0.5))
+            assert 0.0 <= rep.reputation(0) <= 1.0
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            DecayReputation(gamma=0.0)
+        with pytest.raises(ValueError):
+            DecayReputation(gamma=1.0)
+
+    def test_reputations_snapshot(self):
+        rep = DecayReputation(gamma=0.5)
+        rep.update(0, True)
+        rep.update(1, False)
+        assert rep.reputations() == {0: 0.5, 1: 0.0}
+
+
+class TestTheorem1:
+    """Reputation converges to the honesty probability 1 - p."""
+
+    def test_fixed_point_function(self):
+        assert theorem1_fixed_point(0.3) == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            theorem1_fixed_point(1.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p_evil=st.floats(0.0, 1.0),
+        gamma=st.floats(0.05, 0.5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_convergence(self, p_evil, gamma, seed):
+        rng = np.random.default_rng(seed)
+        rep = DecayReputation(gamma=gamma, initial=0.0)
+        burn = int(np.ceil(40 / gamma))
+        vals = []
+        for t in range(burn + 400):
+            honest = rng.random() >= p_evil
+            rep.update(0, honest)
+            if t >= burn:
+                vals.append(rep.reputation(0))
+        mean = float(np.mean(vals))
+        # EMA of Bernoulli(1-p) has mean 1-p and std <= sqrt(gamma/(2-gamma))/2
+        tol = 3.5 * np.sqrt(gamma / (2 - gamma)) / 2 / np.sqrt(len(vals) * gamma) + 0.05
+        assert mean == pytest.approx(theorem1_fixed_point(p_evil), abs=max(tol, 0.08))
+
+    def test_deterministic_worker_converges_exactly(self):
+        rep = DecayReputation(gamma=0.2)
+        for _ in range(200):
+            rep.update(0, True)
+        assert rep.reputation(0) == pytest.approx(1.0, abs=1e-10)
+
+    def test_initial_condition_forgotten(self):
+        # (1-gamma)^t R(0) -> 0: two different initializations converge
+        rep_a = DecayReputation(gamma=0.2, initial=0.0)
+        rep_b = DecayReputation(gamma=0.2, initial=1.0)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        for _ in range(300):
+            rep_a.update(0, bool(rng_a.random() < 0.5))
+            rep_b.update(0, bool(rng_b.random() < 0.5))
+        assert rep_a.reputation(0) == pytest.approx(rep_b.reputation(0), abs=1e-10)

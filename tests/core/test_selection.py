@@ -1,0 +1,63 @@
+"""Tests for server-cluster selection (S4.5)."""
+
+import pytest
+
+from repro.core import probe_selection, reputation_selection
+from repro.fl import FreeRiderWorker
+
+from tests.helpers import make_federation
+
+
+class TestProbeSelection:
+    def test_selects_requested_count(self):
+        workers, _, test = make_federation(num_workers=5)
+        chosen = probe_selection(workers, test, num_servers=2)
+        assert len(chosen) == 2
+        assert all(0 <= c < 5 for c in chosen)
+
+    def test_free_riders_not_selected(self):
+        workers, _, test = make_federation(num_workers=5, local_iters=5)
+        riders = make_federation(
+            num_workers=5, worker_cls=FreeRiderWorker
+        )[0]
+        # replace two workers with free-riders who never train
+        workers[1] = riders[1]
+        workers[3] = riders[3]
+        chosen = probe_selection(workers, test, num_servers=3, probe_rounds=5)
+        assert 1 not in chosen and 3 not in chosen
+
+    def test_models_restored_after_probe(self):
+        workers, _, test = make_federation(num_workers=3)
+        before = [w.model.get_flat_params() for w in workers]
+        probe_selection(workers, test, num_servers=1)
+        for w, params in zip(workers, before):
+            assert (w.model.get_flat_params() == params).all()
+
+    def test_validation(self):
+        workers, _, test = make_federation(num_workers=3)
+        with pytest.raises(ValueError):
+            probe_selection(workers, test, num_servers=0)
+        with pytest.raises(ValueError):
+            probe_selection(workers, test, num_servers=4)
+        with pytest.raises(ValueError):
+            probe_selection(workers, test, num_servers=1, probe_rounds=0)
+
+
+class TestReputationSelection:
+    def test_top_m_by_reputation(self):
+        reps = {0: 0.9, 1: 0.1, 2: 0.8, 3: 0.5}
+        assert reputation_selection(reps, 2) == [0, 2]
+
+    def test_ties_broken_by_id(self):
+        reps = {5: 0.5, 1: 0.5, 3: 0.5}
+        assert reputation_selection(reps, 2) == [1, 3]
+
+    def test_returned_sorted(self):
+        reps = {2: 0.9, 0: 0.95, 1: 0.1}
+        assert reputation_selection(reps, 2) == [0, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reputation_selection({0: 1.0}, 0)
+        with pytest.raises(ValueError):
+            reputation_selection({0: 1.0}, 2)

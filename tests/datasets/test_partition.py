@@ -1,0 +1,101 @@
+"""Tests for dataset partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    dirichlet_partition,
+    iid_partition,
+    make_blobs,
+    sized_partition,
+)
+
+
+class TestIID:
+    def test_covers_everything_disjointly(self):
+        d = make_blobs(n_samples=101, n_features=4, seed=0)
+        shards = iid_partition(d, 7, seed=1)
+        assert sum(len(s) for s in shards) == 101
+        rows = np.vstack([s.x for s in shards])
+        assert {tuple(r) for r in rows} == {tuple(r) for r in d.x}
+
+    def test_near_equal_sizes(self):
+        d = make_blobs(n_samples=100, seed=0)
+        shards = iid_partition(d, 8, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_errors(self):
+        d = make_blobs(n_samples=5)
+        with pytest.raises(ValueError):
+            iid_partition(d, 0)
+        with pytest.raises(ValueError):
+            iid_partition(d, 6)
+
+
+class TestSized:
+    def test_exact_sizes_with_replacement(self):
+        d = make_blobs(n_samples=50, seed=0)
+        shards = sized_partition(d, [3, 100, 7], seed=0)
+        assert [len(s) for s in shards] == [3, 100, 7]
+
+    def test_disjoint_mode(self):
+        d = make_blobs(n_samples=30, n_features=4, seed=0)
+        shards = sized_partition(d, [10, 5], seed=0, replace=False)
+        rows_a = {tuple(r) for r in shards[0].x}
+        rows_b = {tuple(r) for r in shards[1].x}
+        assert not rows_a & rows_b
+
+    def test_disjoint_overflow_rejected(self):
+        d = make_blobs(n_samples=10)
+        with pytest.raises(ValueError):
+            sized_partition(d, [6, 6], replace=False)
+
+    def test_validation(self):
+        d = make_blobs(n_samples=10)
+        with pytest.raises(ValueError):
+            sized_partition(d, [])
+        with pytest.raises(ValueError):
+            sized_partition(d, [0, 3])
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 200), min_size=1, max_size=10))
+    def test_property_sizes_honored(self, sizes):
+        d = make_blobs(n_samples=20, seed=0)
+        shards = sized_partition(d, sizes, seed=3)
+        assert [len(s) for s in shards] == sizes
+
+
+class TestDirichlet:
+    def test_covers_everything(self):
+        d = make_blobs(n_samples=200, num_classes=5, seed=0)
+        shards = dirichlet_partition(d, 6, alpha=0.5, seed=1)
+        assert sum(len(s) for s in shards) == 200
+
+    def test_no_empty_shards_even_when_skewed(self):
+        d = make_blobs(n_samples=60, num_classes=2, seed=0)
+        shards = dirichlet_partition(d, 10, alpha=0.05, seed=2)
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_small_alpha_more_skewed_than_large(self):
+        d = make_blobs(n_samples=2000, num_classes=5, seed=0)
+
+        def skew(alpha):
+            shards = dirichlet_partition(d, 5, alpha=alpha, seed=3)
+            # mean across workers of (max class share)
+            vals = []
+            for s in shards:
+                counts = np.bincount(s.y, minlength=5)
+                vals.append(counts.max() / max(1, counts.sum()))
+            return np.mean(vals)
+
+        assert skew(0.05) > skew(100.0)
+
+    def test_validation(self):
+        d = make_blobs(n_samples=10)
+        with pytest.raises(ValueError):
+            dirichlet_partition(d, 0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(d, 2, alpha=0.0)

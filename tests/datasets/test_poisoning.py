@@ -1,0 +1,72 @@
+"""Tests for label poisoning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import flip_labels, make_blobs, poison_dataset
+
+
+class TestFlipLabels:
+    def test_exact_error_rate(self):
+        rng = np.random.default_rng(0)
+        y = np.zeros(100, dtype=int)
+        flipped = flip_labels(y, 0.3, 4, rng)
+        assert (flipped != y).sum() == 30
+
+    def test_zero_rate_is_identity(self):
+        rng = np.random.default_rng(0)
+        y = np.arange(10) % 3
+        np.testing.assert_array_equal(flip_labels(y, 0.0, 3, rng), y)
+
+    def test_full_rate_flips_everything(self):
+        rng = np.random.default_rng(0)
+        y = np.ones(50, dtype=int)
+        flipped = flip_labels(y, 1.0, 5, rng)
+        assert (flipped != y).all()
+
+    def test_labels_stay_in_range(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 7, size=200)
+        flipped = flip_labels(y, 0.5, 7, rng)
+        assert flipped.min() >= 0 and flipped.max() < 7
+
+    def test_original_untouched(self):
+        rng = np.random.default_rng(2)
+        y = np.zeros(20, dtype=int)
+        flip_labels(y, 1.0, 3, rng)
+        assert (y == 0).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            flip_labels(np.zeros(5, dtype=int), 1.5, 3, rng)
+        with pytest.raises(ValueError):
+            flip_labels(np.zeros(5, dtype=int), 0.5, 1, rng)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p_d=st.floats(0.0, 1.0),
+        n=st.integers(1, 300),
+        classes=st.integers(2, 10),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_flip_count_and_range(self, p_d, n, classes, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, classes, size=n)
+        flipped = flip_labels(y, p_d, classes, np.random.default_rng(seed + 1))
+        assert (flipped != y).sum() == int(round(p_d * n))
+        assert flipped.min() >= 0 and flipped.max() < classes
+
+
+class TestPoisonDataset:
+    def test_features_unchanged(self):
+        d = make_blobs(n_samples=40, seed=0)
+        p = poison_dataset(d, 0.5, np.random.default_rng(0))
+        np.testing.assert_array_equal(p.x, d.x)
+
+    def test_name_records_rate(self):
+        d = make_blobs(n_samples=10, seed=0)
+        p = poison_dataset(d, 0.2, np.random.default_rng(0))
+        assert "0.2" in p.name

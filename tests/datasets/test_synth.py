@@ -1,0 +1,119 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    make_blobs,
+    make_cifar10_like,
+    make_mnist_like,
+    train_test_split,
+)
+
+
+class TestDataset:
+    def test_validation_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(2, dtype=int), 2)
+
+    def test_validation_label_range(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 2)
+
+    def test_len(self):
+        d = make_blobs(n_samples=17, seed=0)
+        assert len(d) == 17
+
+    def test_subset_copies(self):
+        d = make_blobs(n_samples=10, seed=0)
+        sub = d.subset(np.array([0, 1]))
+        sub.x[:] = 0.0
+        assert not np.allclose(d.x[:2], 0.0)
+
+    def test_batches_cover_all(self):
+        d = make_blobs(n_samples=10, seed=0)
+        seen = sum(x.shape[0] for x, _ in d.batches(3))
+        assert seen == 10
+
+    def test_batches_shuffled_with_rng(self):
+        d = make_blobs(n_samples=50, seed=0)
+        b1 = next(iter(d.batches(50, rng=np.random.default_rng(1))))
+        b2 = next(iter(d.batches(50)))
+        assert not np.allclose(b1[0], b2[0])
+
+    def test_batches_rejects_bad_size(self):
+        d = make_blobs(n_samples=5)
+        with pytest.raises(ValueError):
+            list(d.batches(0))
+
+
+class TestGenerators:
+    def test_blobs_shape(self):
+        d = make_blobs(n_samples=20, n_features=6, num_classes=4, seed=1)
+        assert d.x.shape == (20, 6)
+        assert d.num_classes == 4
+
+    def test_mnist_like_shape(self):
+        d = make_mnist_like(n_samples=8, seed=1)
+        assert d.x.shape == (8, 1, 28, 28)
+        assert d.num_classes == 10
+
+    def test_cifar10_like_shape(self):
+        d = make_cifar10_like(n_samples=8, seed=1)
+        assert d.x.shape == (8, 3, 32, 32)
+
+    def test_deterministic(self):
+        a = make_blobs(seed=5)
+        b = make_blobs(seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seeds_differ(self):
+        a = make_blobs(seed=5)
+        b = make_blobs(seed=6)
+        assert not np.allclose(a.x, b.x)
+
+    def test_learnable_with_logreg(self):
+        # Sanity: a linear model separates the blobs well above chance.
+        from repro.nn import SoftmaxCrossEntropy, build_logreg
+
+        d = make_blobs(n_samples=600, n_features=10, num_classes=3, seed=2)
+        train, test = train_test_split(d, 0.25, seed=0)
+        model = build_logreg(10, 3, seed=0)
+        loss_fn = SoftmaxCrossEntropy()
+        for _ in range(80):
+            loss_fn(model.forward(train.x, training=True), train.y)
+            model.backward(loss_fn.backward())
+            model.apply_flat_grads(model.get_flat_grads(), lr=0.5)
+        acc = (model.predict(test.x).argmax(axis=1) == test.y).mean()
+        assert acc > 0.8
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            make_blobs(n_samples=0)
+
+
+class TestSplit:
+    def test_sizes(self):
+        d = make_blobs(n_samples=100, seed=0)
+        train, test = train_test_split(d, 0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint_and_complete(self):
+        d = make_blobs(n_samples=50, n_features=3, seed=0)
+        train, test = train_test_split(d, 0.3, seed=1)
+        all_rows = np.vstack([train.x, test.x])
+        assert all_rows.shape[0] == 50
+        # every original row appears exactly once
+        orig = {tuple(r) for r in d.x}
+        got = {tuple(r) for r in all_rows}
+        assert orig == got
+
+    def test_invalid_fraction(self):
+        d = make_blobs(n_samples=10)
+        with pytest.raises(ValueError):
+            train_test_split(d, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(d, 1.0)

@@ -1,0 +1,33 @@
+"""Tests for the architecture communication-load experiment."""
+
+import pytest
+
+from repro.experiments import arch_comm
+
+
+class TestArchComm:
+    def test_three_architectures_reported(self):
+        result = arch_comm.run(num_workers=6, rounds=2)
+        assert len(result) == 3
+        for r in result.values():
+            assert r["total_bytes"] > 0
+            assert r["max_node_load"] >= r["mean_node_load"]
+
+    def test_bottleneck_ordering(self):
+        result = arch_comm.run(num_workers=6, rounds=3)
+        loads = [r["max_node_load"] for r in result.values()]
+        assert loads[0] > loads[1] > loads[2]
+
+    def test_same_accuracy_across_architectures(self):
+        result = arch_comm.run(num_workers=6, rounds=3)
+        accs = {r["final_acc"] for r in result.values()}
+        assert len(accs) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arch_comm.run(num_workers=3)
+
+    def test_format_rows(self):
+        result = arch_comm.run(num_workers=4, rounds=1)
+        rows = arch_comm.format_rows(result)
+        assert len(rows) == 5

@@ -1,0 +1,104 @@
+"""Tests for the shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AttackerSpec,
+    FedExpConfig,
+    build_federation,
+    data_poison,
+    probabilistic,
+    run_federated,
+    sign_flip,
+)
+from repro.fl import DataPoisonWorker, HonestWorker, SignFlippingWorker
+
+
+def fast_cfg(**overrides):
+    base = dict(
+        dataset="blobs",
+        num_workers=4,
+        samples_per_worker=60,
+        test_samples=60,
+        rounds=3,
+        eval_every=3,
+        server_ranks=(0,),
+    )
+    base.update(overrides)
+    return FedExpConfig(**base)
+
+
+class TestAttackerSpec:
+    def test_factories(self):
+        assert sign_flip(4.0).kind == "sign"
+        assert data_poison(0.3).kind == "poison"
+        assert probabilistic(0.5, 2.0).kind == "prob"
+
+    def test_unknown_kind_rejected(self):
+        _, workers, _ = build_federation(fast_cfg())
+        spec = AttackerSpec("mystery", ())
+        with pytest.raises(ValueError):
+            spec.build(0, workers[0].dataset, lambda: None)
+
+
+class TestBuildFederation:
+    def test_honest_by_default(self):
+        _, workers, _ = build_federation(fast_cfg())
+        assert all(isinstance(w, HonestWorker) for w in workers)
+
+    def test_attackers_placed(self):
+        _, workers, _ = build_federation(
+            fast_cfg(), {1: sign_flip(4.0), 2: data_poison(0.5)}
+        )
+        assert isinstance(workers[1], SignFlippingWorker)
+        assert isinstance(workers[2], DataPoisonWorker)
+        assert isinstance(workers[0], HonestWorker)
+
+    def test_rejects_out_of_range_attacker(self):
+        with pytest.raises(ValueError):
+            build_federation(fast_cfg(), {9: sign_flip(4.0)})
+
+    def test_all_dataset_modes(self):
+        for ds, size in (("blobs", None), ("mnist", 14), ("cifar10", 8)):
+            cfg = fast_cfg(dataset=ds)
+            if size:
+                cfg = cfg.scaled(image_size=size)
+            model, workers, test = build_federation(cfg)
+            assert len(workers) == 4
+            out = model.predict(test.x[:2])
+            assert out.shape[0] == 2
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            build_federation(fast_cfg(dataset="imagenet"))
+
+    def test_scaled_copies(self):
+        cfg = fast_cfg()
+        cfg2 = cfg.scaled(rounds=99)
+        assert cfg.rounds == 3 and cfg2.rounds == 99
+
+
+class TestRunFederated:
+    def test_returns_history_without_mechanism(self):
+        history, mech = run_federated(fast_cfg())
+        assert mech is None
+        assert len(history.rounds) == 3
+
+    def test_returns_mechanism_with_fifl(self):
+        history, mech = run_federated(fast_cfg(), with_fifl=True)
+        assert mech is not None
+        assert len(mech.records) == 3
+
+    def test_deterministic(self):
+        h1, _ = run_federated(fast_cfg(seed=3))
+        h2, _ = run_federated(fast_cfg(seed=3))
+        assert h1.final_accuracy() == h2.final_accuracy()
+
+    def test_ledger_receives_rounds(self):
+        from repro.ledger import Blockchain
+
+        chain = Blockchain()
+        run_federated(fast_cfg(), with_fifl=True, ledger=chain)
+        assert len(chain) == 3
+        assert chain.is_intact()

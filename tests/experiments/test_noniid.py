@@ -1,0 +1,28 @@
+"""Tests for the non-iid detection experiment."""
+
+import pytest
+
+from repro.experiments import noniid
+
+
+class TestNonIID:
+    def test_iid_limit_is_clean(self):
+        res = noniid.run(alphas=(100.0,), rounds=6)
+        r = res["by_alpha"][100.0]
+        assert r["honest_false_reject"] < 0.05
+        assert r["attacker_reject"] > 0.9
+
+    def test_skew_increases_false_rejections(self):
+        res = noniid.run(alphas=(100.0, 0.1), rounds=8)
+        mild = res["by_alpha"][100.0]["honest_false_reject"]
+        extreme = res["by_alpha"][0.1]["honest_false_reject"]
+        assert extreme >= mild
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noniid.run(alphas=())
+
+    def test_format_rows(self):
+        res = noniid.run(alphas=(1.0,), rounds=3)
+        rows = noniid.format_rows(res)
+        assert len(rows) == 3

@@ -1,0 +1,59 @@
+"""Tests for the experiment runner CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import FIGURES, main, run_figure
+
+
+class TestRunFigure:
+    def test_all_figures_registered(self):
+        paper = [f"fig{i:02d}" for i in range(4, 15)]
+        extensions = ["ext-comm", "ext-fault", "ext-noniid"]
+        assert sorted(FIGURES) == sorted(paper + extensions)
+
+    def test_extension_fast_runs(self):
+        result, rows = run_figure("ext-fault", fast=True)
+        assert "scenarios" in result
+        assert rows
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+    def test_fast_run_returns_rows(self):
+        result, rows = run_figure("fig11", fast=True)
+        assert "tail_means" in result
+        assert any("Fig 11" in r for r in rows)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "fig14" in out
+
+    def test_requires_a_selection(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_and_saves_json(self, tmp_path, capsys):
+        assert main(["--figures", "fig12", "--fast", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig12" in out
+        saved = json.loads((tmp_path / "fig12.json").read_text())
+        assert "means" in saved
+        # tuple/float keys serialized as strings
+        assert all(isinstance(k, str) for k in saved["means"])
+
+    def test_multiple_figures(self, capsys):
+        assert main(["--figures", "fig13,fig14", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig13" in out and "=== fig14" in out
+
+    def test_nan_serialized_as_null(self, tmp_path):
+        from repro.experiments.runner import _jsonable
+
+        assert _jsonable({"x": float("nan")}) == {"x": None}
+        assert _jsonable({(1, 2): [3]}) == {"(1, 2)": [3]}

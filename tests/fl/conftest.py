@@ -1,0 +1,23 @@
+"""Shared fixtures: tiny blob federations with logistic-regression models."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_logreg
+
+from tests.helpers import N_CLASSES, N_FEATURES, make_federation, model_fn  # noqa: F401
+
+
+@pytest.fixture
+def blob_federation():
+    return make_federation()
+
+
+@pytest.fixture
+def global_model():
+    return build_logreg(N_FEATURES, N_CLASSES, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,100 @@
+"""Tests for gradient slicing and aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import fedavg, recombine, slice_bounds, split_gradient
+
+
+class TestSplitRecombine:
+    def test_roundtrip_exact(self):
+        g = np.arange(10.0)
+        np.testing.assert_array_equal(recombine(split_gradient(g, 3)), g)
+
+    def test_slices_are_copies(self):
+        g = np.arange(6.0)
+        parts = split_gradient(g, 2)
+        parts[0][:] = -1
+        assert g[0] == 0.0
+
+    def test_slice_count(self):
+        assert len(split_gradient(np.arange(7.0), 4)) == 4
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            split_gradient(np.zeros((2, 2)), 2)
+        with pytest.raises(ValueError):
+            split_gradient(np.arange(3.0), 0)
+        with pytest.raises(ValueError):
+            split_gradient(np.arange(3.0), 5)
+        with pytest.raises(ValueError):
+            recombine([])
+
+    @settings(max_examples=40, deadline=None)
+    @given(length=st.integers(1, 200), m=st.integers(1, 20))
+    def test_property_roundtrip_and_bounds(self, length, m):
+        if m > length:
+            return
+        g = np.random.default_rng(length * 31 + m).normal(size=length)
+        parts = split_gradient(g, m)
+        np.testing.assert_array_equal(recombine(parts), g)
+        bounds = slice_bounds(length, m)
+        assert bounds[0][0] == 0 and bounds[-1][1] == length
+        for (a, b), part in zip(bounds, parts):
+            assert b - a == part.size
+            np.testing.assert_array_equal(g[a:b], part)
+
+
+class TestSliceBounds:
+    def test_even(self):
+        assert slice_bounds(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_uneven_front_loaded(self):
+        assert slice_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            slice_bounds(5, 0)
+        with pytest.raises(ValueError):
+            slice_bounds(-1, 2)
+
+
+class TestFedAvg:
+    def test_equal_weights_is_mean(self):
+        grads = [np.array([1.0, 0.0]), np.array([3.0, 2.0])]
+        np.testing.assert_allclose(fedavg(grads, [1, 1]), [2.0, 1.0])
+
+    def test_weighted_by_sample_count(self):
+        grads = [np.array([0.0]), np.array([10.0])]
+        np.testing.assert_allclose(fedavg(grads, [3, 1]), [2.5])
+
+    def test_zero_weight_excludes(self):
+        grads = [np.array([5.0]), np.array([-100.0])]
+        np.testing.assert_allclose(fedavg(grads, [1, 0]), [5.0])
+
+    def test_scale_invariant_in_weights(self):
+        rng = np.random.default_rng(0)
+        grads = [rng.normal(size=4) for _ in range(3)]
+        a = fedavg(grads, [1, 2, 3])
+        b = fedavg(grads, [10, 20, 30])
+        np.testing.assert_allclose(a, b)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fedavg([], [])
+        with pytest.raises(ValueError):
+            fedavg([np.zeros(2)], [1, 2])
+        with pytest.raises(ValueError):
+            fedavg([np.zeros(2)], [-1])
+        with pytest.raises(ValueError):
+            fedavg([np.zeros(2)], [0])
+
+    def test_matches_paper_equation_2(self):
+        # G = sum_i n_i/sum(n) G_i
+        rng = np.random.default_rng(1)
+        grads = [rng.normal(size=5) for _ in range(4)]
+        n = np.array([100, 50, 25, 25], dtype=float)
+        expected = sum((n[i] / n.sum()) * grads[i] for i in range(4))
+        np.testing.assert_allclose(fedavg(grads, n), expected)

@@ -1,0 +1,46 @@
+"""Shared test factories: tiny blob federations with logistic regression."""
+
+import numpy as np
+
+from repro.datasets import iid_partition, make_blobs, train_test_split
+from repro.fl import HonestWorker
+from repro.nn import build_logreg
+
+N_FEATURES = 8
+N_CLASSES = 3
+
+
+def model_fn(seed=0):
+    """Factory-of-factories so every worker model starts identically."""
+    return lambda: build_logreg(N_FEATURES, N_CLASSES, seed=seed)
+
+
+def make_federation(
+    num_workers=4,
+    n_samples=400,
+    worker_cls=HonestWorker,
+    worker_kwargs=None,
+    seed=0,
+    local_iters=1,
+    lr=0.1,
+):
+    """Build (workers, train shards, test set) over blob data."""
+    data = make_blobs(
+        n_samples=n_samples, n_features=N_FEATURES, num_classes=N_CLASSES, seed=seed
+    )
+    train, test = train_test_split(data, 0.25, seed=seed)
+    shards = iid_partition(train, num_workers, seed=seed)
+    workers = [
+        worker_cls(
+            i,
+            shards[i],
+            model_fn(seed),
+            lr=lr,
+            batch_size=32,
+            local_iters=local_iters,
+            seed=seed + 100 + i,
+            **(worker_kwargs or {}),
+        )
+        for i in range(num_workers)
+    ]
+    return workers, shards, test

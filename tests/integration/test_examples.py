@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs end-to-end and asserts its
+own success criterion (each example ends with an ``assert`` + "OK:")."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 420) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "OK:" in out
+        assert "final test accuracy" in out
+
+    def test_audit_trail(self):
+        out = run_example("audit_trail.py")
+        assert "OK:" in out
+        assert "evil-server" in out
+
+    def test_fault_tolerance_demo(self):
+        out = run_example("fault_tolerance_demo.py")
+        assert "OK:" in out
+        assert "crash" in out
+
+    @pytest.mark.slow
+    def test_incentive_market(self):
+        out = run_example("incentive_market.py")
+        assert "OK:" in out
+        assert "data share" in out
+
+    @pytest.mark.slow
+    def test_unreliable_federation(self):
+        out = run_example("unreliable_federation.py")
+        assert "OK:" in out
+        assert "FIFL-defended" in out

@@ -1,0 +1,157 @@
+"""Tests for the worker-market simulator (Figs. 4-6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.market import MECHANISMS, MarketConfig, MarketSimulator
+
+
+def fast_sim(seed=0, **overrides):
+    cfg = dict(repetitions=4, iterations=30, fifl_probe_rounds=2)
+    cfg.update(overrides)
+    return MarketSimulator(MarketConfig(**cfg), seed=seed)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = MarketConfig()
+        assert cfg.num_workers == 20
+        assert cfg.max_samples == 10_000
+        assert cfg.iterations == 500
+        assert cfg.repetitions == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarketConfig(num_workers=1)
+        with pytest.raises(ValueError):
+            MarketConfig(min_samples=100, max_samples=100)
+        with pytest.raises(ValueError):
+            MarketConfig(iterations=0)
+        with pytest.raises(ValueError):
+            MarketConfig(total_budget=0)
+
+
+class TestPopulation:
+    def test_draw_in_range(self):
+        sim = fast_sim()
+        rng = np.random.default_rng(0)
+        samples = sim.draw_population(rng)
+        assert samples.shape == (20,)
+        assert samples.min() >= 1 and samples.max() <= 10_000
+
+    def test_grouping_decile_width(self):
+        sim = fast_sim()
+        groups = sim.group_of(np.array([1, 999, 1000, 5500, 10000]))
+        assert list(groups) == [0, 0, 0, 5, 9]
+
+
+class TestMechanismWeights:
+    def test_all_mechanisms_present_and_normalized(self):
+        sim = fast_sim()
+        samples = np.array([100, 1000, 5000, 9000, 2500])
+        shares = sim.mechanism_weights(samples, seed=1)
+        assert set(shares) == set(MECHANISMS)
+        for m in MECHANISMS:
+            assert shares[m].shape == (5,)
+            assert shares[m].sum() == pytest.approx(1.0)
+            assert (shares[m] >= 0).all()
+
+    def test_equal_is_uniform(self):
+        sim = fast_sim()
+        shares = sim.mechanism_weights(np.array([10, 20, 30]), seed=0)
+        np.testing.assert_allclose(shares["equal"], 1 / 3)
+
+
+class TestAttractiveness:
+    def test_columns_sum_to_one(self):
+        sim = fast_sim()
+        shares = sim.mechanism_weights(np.array([100, 4000, 9000]), seed=2)
+        attr = sim.attractiveness_of(shares)
+        total = sum(attr[m] for m in MECHANISMS)
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_equal_most_attractive_to_smallest_worker(self):
+        # the paper: Equal attracts most low-quality workers
+        sim = fast_sim()
+        samples = np.array([50, 3000, 6000, 9500])
+        shares = sim.mechanism_weights(samples, seed=3)
+        attr = sim.attractiveness_of(shares)
+        assert attr["equal"][0] == max(attr[m][0] for m in MECHANISMS)
+
+    def test_fifl_most_attractive_to_top_worker(self):
+        # averaged over population draws at the paper's scale (N=20)
+        sim = fast_sim()
+        rng = np.random.default_rng(1)
+        wins = []
+        for rep in range(5):
+            samples = rng.integers(1, 10_001, size=20)
+            shares = sim.mechanism_weights(samples, seed=rep)
+            attr = sim.attractiveness_of(shares)
+            top = int(samples.argmax())
+            top_attr = {m: attr[m][top] for m in MECHANISMS}
+            wins.append(top_attr["fifl"] == max(top_attr.values()))
+        assert sum(wins) >= 3
+
+
+class TestMarketSimulation:
+    def test_outcome_shapes(self):
+        out = fast_sim(seed=1).simulate_market()
+        assert set(out.data_share) == set(MECHANISMS)
+        assert sum(out.data_share.values()) == pytest.approx(1.0)
+        assert out.relative_revenue["fifl"] == 0.0
+        for m in MECHANISMS:
+            assert out.group_rewards[m].shape == (10,)
+            assert out.group_attractiveness[m].shape == (10,)
+
+    def test_fifl_and_union_attract_most_data(self):
+        # Fig. 5(a): fifl > union > {shapley, individual, equal}
+        out = fast_sim(seed=0, repetitions=8).simulate_market()
+        ds = out.data_share
+        assert ds["fifl"] > ds["equal"]
+        assert ds["union"] > ds["equal"]
+
+    def test_deterministic_given_seed(self):
+        a = fast_sim(seed=7).simulate_market()
+        b = fast_sim(seed=7).simulate_market()
+        assert a.data_share == b.data_share
+
+
+class TestUnreliableRevenues:
+    def test_fifl_zero_baselines_negative(self):
+        rev = fast_sim(seed=2).unreliable_revenues(
+            attack_degrees=(0.15, 0.385), repetitions=5
+        )
+        for degree, row in rev.items():
+            assert row["fifl"] == 0.0
+            for m in MECHANISMS:
+                if m != "fifl":
+                    assert row[m] < 0, (degree, m)
+
+    def test_damage_grows_with_attack_degree(self):
+        rev = fast_sim(seed=2).unreliable_revenues(
+            attack_degrees=(0.15, 0.385), repetitions=5
+        )
+        for m in MECHANISMS:
+            if m != "fifl":
+                assert rev[0.385][m] < rev[0.15][m]
+
+    def test_imperfect_detection_hurts_fifl_less_than_none(self):
+        rev_perfect = fast_sim(seed=3).unreliable_revenues(
+            attack_degrees=(0.385,), repetitions=5, detection_rate=1.0
+        )
+        # with detection off, FIFL degenerates toward the baselines
+        rev_none = fast_sim(seed=3).unreliable_revenues(
+            attack_degrees=(0.385,), repetitions=5, detection_rate=0.0
+        )
+        gap_perfect = abs(rev_perfect[0.385]["union"])
+        gap_none = abs(rev_none[0.385]["union"])
+        assert gap_none < gap_perfect
+
+    def test_validation(self):
+        sim = fast_sim()
+        with pytest.raises(ValueError):
+            sim.unreliable_revenues(unreliable_fraction=0.0)
+        with pytest.raises(ValueError):
+            sim.unreliable_revenues(detection_rate=2.0)
+        with pytest.raises(ValueError):
+            sim.unreliable_revenues(attack_degrees=(1.5,))

@@ -1,0 +1,63 @@
+"""Tests for the measured FIFL market weights."""
+
+import numpy as np
+import pytest
+
+from repro.core import union_weights
+from repro.market import measure_fifl_weights
+
+SAMPLES = np.array([100, 500, 1000, 2000, 4000, 6000, 8000, 9500])
+
+
+class TestMeasuredWeights:
+    def test_nonnegative_and_finite(self):
+        w = measure_fifl_weights(SAMPLES, seed=0, n_probe_rounds=3)
+        assert (w >= 0).all()
+        assert np.isfinite(w).all()
+
+    def test_free_rider_guard_zeroes_small_workers(self):
+        w = measure_fifl_weights(SAMPLES, seed=0, n_probe_rounds=5)
+        assert w[0] == 0.0  # 100 samples, far below the guard
+        assert w[-1] > 0.0
+
+    def test_top_workers_beat_bottom(self):
+        w = measure_fifl_weights(SAMPLES, seed=1, n_probe_rounds=5)
+        top = w[-2:].sum()
+        bottom = w[:2].sum()
+        assert top > bottom
+
+    def test_pays_more_to_top_than_union(self):
+        # the paper's Fig. 4 claim: FIFL spends the most on high-quality
+        # workers and the least on low-quality ones. Checked on the
+        # paper's population shape (20 workers ~ U[1, 10000]), averaged
+        # over draws because a single draw is noisy.
+        rng = np.random.default_rng(0)
+        top_fifl, top_union, bot_fifl, bot_union = [], [], [], []
+        for rep in range(6):
+            samples = rng.integers(1, 10_001, size=20)
+            w = measure_fifl_weights(samples, seed=rep, n_probe_rounds=4)
+            total = w.sum()
+            w = w / total if total > 0 else w
+            u = union_weights(samples.astype(float))
+            u = u / u.sum()
+            top_fifl.append(w[samples.argmax()])
+            top_union.append(u[samples.argmax()])
+            bot_fifl.append(w[samples.argmin()])
+            bot_union.append(u[samples.argmin()])
+        assert np.mean(top_fifl) > np.mean(top_union)
+        assert np.mean(bot_fifl) < np.mean(bot_union)
+
+    def test_deterministic(self):
+        a = measure_fifl_weights(SAMPLES, seed=3, n_probe_rounds=2)
+        b = measure_fifl_weights(SAMPLES, seed=3, n_probe_rounds=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_fifl_weights(np.array([5]))
+        with pytest.raises(ValueError):
+            measure_fifl_weights(np.array([0, 10]))
+        with pytest.raises(ValueError):
+            measure_fifl_weights(SAMPLES, reference_quantile=1.5)
+        with pytest.raises(ValueError):
+            measure_fifl_weights(SAMPLES, n_probe_rounds=0)

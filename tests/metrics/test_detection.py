@@ -1,0 +1,57 @@
+"""Tests for detection confusion metrics."""
+
+import pytest
+
+from repro.metrics import ConfusionCounts, aggregate_confusion, confusion
+
+
+class TestConfusion:
+    def test_all_quadrants(self):
+        accepted = {0: True, 1: False, 2: True, 3: False}
+        truth = {0: True, 1: True, 2: False, 3: False}
+        c = confusion(accepted, truth)
+        assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+        assert c.accuracy == 0.5
+        assert c.tp_rate == 0.5
+        assert c.tn_rate == 0.5
+
+    def test_perfect_detection(self):
+        accepted = {0: True, 1: False}
+        truth = {0: True, 1: False}
+        c = confusion(accepted, truth)
+        assert c.accuracy == 1.0
+        assert c.tp_rate == 1.0
+        assert c.tn_rate == 1.0
+
+    def test_missing_truth_ignored(self):
+        c = confusion({0: True, 9: False}, {0: True})
+        assert c.total == 1
+
+    def test_empty_rates_are_zero(self):
+        c = ConfusionCounts()
+        assert c.accuracy == 0.0
+        assert c.tp_rate == 0.0
+        assert c.tn_rate == 0.0
+
+    def test_rates_with_single_class(self):
+        # all honest: TN rate undefined -> 0, accuracy = TP rate
+        accepted = {0: True, 1: True, 2: False}
+        truth = {0: True, 1: True, 2: True}
+        c = confusion(accepted, truth)
+        assert c.tn_rate == 0.0
+        assert c.accuracy == pytest.approx(2 / 3)
+
+
+class TestAggregate:
+    def test_sum_over_rounds(self):
+        rounds = [
+            confusion({0: True}, {0: True}),
+            confusion({0: False}, {0: True}),
+            confusion({1: False}, {1: False}),
+        ]
+        total = aggregate_confusion(rounds)
+        assert (total.tp, total.fn, total.tn) == (1, 1, 1)
+        assert total.accuracy == pytest.approx(2 / 3)
+
+    def test_empty_aggregate(self):
+        assert aggregate_confusion([]).total == 0

@@ -1,0 +1,59 @@
+"""Tests for series utilities."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import auc, final_value, moving_average, relative_percent
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = [1.0, 5.0, 3.0]
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_trailing_window(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], 2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_warmup_prefix(self):
+        out = moving_average([2.0, 4.0, 6.0], 10)
+        np.testing.assert_allclose(out, [2.0, 3.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+        with pytest.raises(ValueError):
+            moving_average(np.zeros((2, 2)), 1)
+
+
+class TestFinalValue:
+    def test_skips_trailing_nones(self):
+        assert final_value([0.1, 0.5, None, None]) == 0.5
+
+    def test_all_none_raises(self):
+        with pytest.raises(ValueError):
+            final_value([None, None])
+
+
+class TestRelativePercent:
+    def test_basic(self):
+        assert relative_percent(110.0, 100.0) == pytest.approx(10.0)
+        assert relative_percent(50.0, 100.0) == pytest.approx(-50.0)
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            relative_percent(1.0, 0.0)
+
+
+class TestAUC:
+    def test_constant_series(self):
+        assert auc([2.0, 2.0, 2.0]) == pytest.approx(4.0)
+
+    def test_faster_convergence_larger_auc(self):
+        fast = [0.5, 0.9, 0.95, 0.95]
+        slow = [0.3, 0.5, 0.7, 0.9]
+        assert auc(fast) > auc(slow)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            auc([1.0])

@@ -1,0 +1,123 @@
+"""Tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, MSELoss, SoftmaxCrossEntropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[2.0, 1.0, 0.1]])
+        labels = np.array([0])
+        loss = SoftmaxCrossEntropy()(logits, labels)
+        probs = np.exp(logits) / np.exp(logits).sum()
+        assert loss == pytest.approx(-np.log(probs[0, 0]))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0]])
+        assert SoftmaxCrossEntropy()(logits, np.array([0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_is_probs_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss = SoftmaxCrossEntropy()
+        loss(logits, labels)
+        g = loss.backward()
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(6), labels] = 1.0
+        np.testing.assert_allclose(g, (probs - onehot) / 6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(1)
+        loss = SoftmaxCrossEntropy()
+        loss(rng.normal(size=(5, 3)), rng.integers(0, 3, size=5))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss(np.zeros((3, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMSE:
+    def test_value_and_grad(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        assert loss(pred, target) == pytest.approx(2.5)
+        np.testing.assert_allclose(loss.backward(), [1.0, 2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        opt = SGD(lr=0.1)
+        p = np.array([1.0, 1.0])
+        g = np.array([1.0, -1.0])
+        np.testing.assert_allclose(opt.step(p, g), [0.9, 1.1])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.5)
+        p = np.zeros(1)
+        g = np.ones(1)
+        p = opt.step(p, g)   # v=1, p=-1
+        p = opt.step(p, g)   # v=1.5, p=-2.5
+        assert p[0] == pytest.approx(-2.5)
+
+    def test_weight_decay(self):
+        opt = SGD(lr=1.0, weight_decay=0.1)
+        p = np.array([10.0])
+        out = opt.step(p, np.zeros(1))
+        assert out[0] == pytest.approx(9.0)
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(lr=1.0, momentum=0.9)
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt._velocity is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, weight_decay=-1)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1).step(np.zeros(2), np.zeros(3))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        # minimize f(p) = ||p - 3||^2
+        opt = Adam(lr=0.1)
+        p = np.zeros(4)
+        for _ in range(300):
+            grad = 2 * (p - 3.0)
+            p = opt.step(p, grad)
+        np.testing.assert_allclose(p, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam step is ~lr regardless of grad scale.
+        opt = Adam(lr=0.01)
+        p = opt.step(np.zeros(1), np.array([1e6]))
+        assert abs(p[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)

@@ -1,0 +1,145 @@
+"""Tests for Sequential / Residual containers and flat-vector plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Residual,
+    Sequential,
+    SoftmaxCrossEntropy,
+    build_mlp,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _small_model(seed=0):
+    rng = _rng(seed)
+    return Sequential([Dense(4, 8, rng), ReLU(), Dense(8, 3, rng)])
+
+
+class TestFlatParams:
+    def test_roundtrip(self):
+        model = _small_model()
+        vec = model.get_flat_params()
+        assert vec.shape == (model.num_params,)
+        model2 = _small_model(seed=99)
+        model2.set_flat_params(vec)
+        np.testing.assert_array_equal(model2.get_flat_params(), vec)
+
+    def test_set_changes_forward(self):
+        model = _small_model()
+        x = _rng(1).normal(size=(2, 4))
+        out1 = model.predict(x)
+        model.set_flat_params(np.zeros(model.num_params))
+        out2 = model.predict(x)
+        assert not np.allclose(out1, out2)
+        np.testing.assert_array_equal(out2, 0.0)
+
+    def test_set_rejects_wrong_size(self):
+        model = _small_model()
+        with pytest.raises(ValueError):
+            model.set_flat_params(np.zeros(model.num_params + 1))
+
+    def test_num_params_counts(self):
+        model = _small_model()
+        assert model.num_params == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_get_flat_params_is_copy(self):
+        model = _small_model()
+        vec = model.get_flat_params()
+        vec[:] = 0.0
+        assert not np.allclose(model.get_flat_params(), 0.0)
+
+
+class TestGrads:
+    def test_flat_grads_after_backward(self):
+        model = _small_model()
+        x = _rng(1).normal(size=(5, 4))
+        y = _rng(2).integers(0, 3, size=5)
+        loss = SoftmaxCrossEntropy()
+        out = model.forward(x, training=True)
+        loss(out, y)
+        model.backward(loss.backward())
+        g = model.get_flat_grads()
+        assert g.shape == (model.num_params,)
+        assert np.isfinite(g).all()
+        assert np.abs(g).max() > 0
+
+    def test_flat_grads_without_backward_raises(self):
+        model = _small_model()
+        with pytest.raises(RuntimeError):
+            model.get_flat_grads()
+
+    def test_apply_flat_grads_is_sgd_step(self):
+        model = _small_model()
+        theta = model.get_flat_params()
+        g = _rng(3).normal(size=model.num_params)
+        model.apply_flat_grads(g, lr=0.1)
+        np.testing.assert_allclose(model.get_flat_params(), theta - 0.1 * g)
+
+    def test_zero_grads_clears(self):
+        model = _small_model()
+        x = _rng(1).normal(size=(2, 4))
+        loss = SoftmaxCrossEntropy()
+        loss(model.forward(x, training=True), np.array([0, 1]))
+        model.backward(loss.backward())
+        model.zero_grads()
+        with pytest.raises(RuntimeError):
+            model.get_flat_grads()
+
+
+class TestResidual:
+    def test_identity_shortcut_adds(self):
+        rng = _rng(0)
+        body = [Dense(4, 4, rng)]
+        block = Residual(body)
+        x = _rng(1).normal(size=(3, 4))
+        out = block.forward(x)
+        np.testing.assert_allclose(out, body[0].forward(x) + x)
+
+    def test_backward_sums_branches(self):
+        rng = _rng(0)
+        block = Residual([Dense(4, 4, rng)])
+        x = _rng(1).normal(size=(3, 4))
+        block.forward(x)
+        g = np.ones((3, 4))
+        gx = block.backward(g)
+        # identity branch passes g through; dense branch adds g @ W.T
+        np.testing.assert_allclose(gx, g + g @ block.body[0].params["W"].T)
+
+    def test_shape_mismatch_raises(self):
+        rng = _rng(0)
+        block = Residual([Dense(4, 5, rng)])
+        with pytest.raises(ValueError):
+            block.forward(_rng(1).normal(size=(2, 4)))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Residual([])
+
+    def test_params_included_in_flat_vector(self):
+        rng = _rng(0)
+        model = Sequential([Residual([Dense(4, 4, rng)]), Dense(4, 2, rng)])
+        assert model.num_params == (4 * 4 + 4) + (4 * 2 + 2)
+
+
+class TestTrainingSmoke:
+    def test_mlp_loss_decreases(self):
+        rng = _rng(0)
+        x = rng.normal(size=(128, 10))
+        y = (x[:, 0] > 0).astype(int)
+        model = build_mlp(10, 2, hidden=(16,), seed=1)
+        loss_fn = SoftmaxCrossEntropy()
+        first = None
+        for _ in range(60):
+            loss = loss_fn(model.forward(x, training=True), y)
+            if first is None:
+                first = loss
+            model.backward(loss_fn.backward())
+            model.apply_flat_grads(model.get_flat_grads(), lr=0.5)
+        assert loss < first * 0.5

@@ -1,0 +1,82 @@
+"""Tests for reference model builders."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SoftmaxCrossEntropy,
+    build_lenet,
+    build_logreg,
+    build_mini_resnet,
+    build_mlp,
+)
+
+
+class TestBuilders:
+    def test_logreg_shape(self):
+        model = build_logreg(10, 4, seed=0)
+        out = model.predict(np.zeros((3, 10)))
+        assert out.shape == (3, 4)
+
+    def test_mlp_shape_and_depth(self):
+        model = build_mlp(8, 5, hidden=(16, 12), seed=0)
+        out = model.predict(np.zeros((2, 8)))
+        assert out.shape == (2, 5)
+        # 3 dense + 2 relu
+        assert len(model.layers) == 5
+
+    def test_lenet_28(self):
+        model = build_lenet(num_classes=10, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 1, 28, 28))
+        assert model.predict(x).shape == (2, 10)
+
+    def test_lenet_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            build_lenet(image_size=4)
+
+    def test_mini_resnet_32(self):
+        model = build_mini_resnet(num_classes=10, seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32))
+        assert model.predict(x).shape == (2, 10)
+
+    def test_mini_resnet_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            build_mini_resnet(num_blocks=0)
+
+    def test_same_seed_same_params(self):
+        a = build_mlp(4, 2, seed=7).get_flat_params()
+        b = build_mlp(4, 2, seed=7).get_flat_params()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_params(self):
+        a = build_mlp(4, 2, seed=7).get_flat_params()
+        b = build_mlp(4, 2, seed=8).get_flat_params()
+        assert not np.allclose(a, b)
+
+
+class TestTrainability:
+    def _train(self, model, x, y, lr, steps):
+        loss_fn = SoftmaxCrossEntropy()
+        losses = []
+        for _ in range(steps):
+            loss = loss_fn(model.forward(x, training=True), y)
+            losses.append(loss)
+            model.backward(loss_fn.backward())
+            model.apply_flat_grads(model.get_flat_grads(), lr=lr)
+        return losses
+
+    def test_lenet_learns_toy_task(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 1, 14, 14))
+        y = (x.mean(axis=(1, 2, 3)) > 0).astype(int)
+        model = build_lenet(num_classes=2, image_size=14, seed=1)
+        losses = self._train(model, x, y, lr=0.05, steps=40)
+        assert losses[-1] < losses[0]
+
+    def test_mini_resnet_learns_toy_task(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(32, 3, 8, 8))
+        y = (x[:, 0].mean(axis=(1, 2)) > 0).astype(int)
+        model = build_mini_resnet(num_classes=2, width=8, num_blocks=1, seed=2)
+        losses = self._train(model, x, y, lr=0.05, steps=40)
+        assert losses[-1] < losses[0]
