@@ -1,0 +1,219 @@
+"""Round-engine benchmark: vectorized vs scalar FIFL kernels.
+
+Times ``FIFLMechanism.process_round`` over synthetic rounds at several
+federation sizes, once with the batched (N, D)-matrix engine and once
+with the scalar reference loops, and reports per-phase wall-clock from
+the profiling module plus the speedup per phase.
+
+CLI (no pytest needed)::
+
+    python benchmarks/bench_engine.py            # N in {16, 64, 256}
+    python benchmarks/bench_engine.py --quick    # smoke scale
+    python benchmarks/bench_engine.py --json out.json
+
+Under pytest (``pytest benchmarks/bench_engine.py``) the quick
+configuration runs as a regression guard: the vectorized engine must
+beat the scalar one on the detection + contribution phases at N = 64.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct CLI use without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import make_mechanism
+from repro.fl.gradients import split_gradient
+from repro.fl.trainer import RoundContext
+from repro.fl.workers import WorkerUpdate
+from repro.profiling import Profiler
+
+#: phases whose vectorization the tentpole targets
+KERNEL_PHASES = ("fifl.detect", "fifl.contribution")
+
+DEFAULT_SIZES = (16, 64, 256)
+DEFAULT_DIM = 4096
+DEFAULT_SERVERS = 4
+DEFAULT_ROUNDS = 10
+
+
+def make_round(
+    num_workers: int,
+    dim: int,
+    num_servers: int,
+    round_idx: int,
+    seed: int = 0,
+    uncertain: int = 0,
+) -> RoundContext:
+    """One synthetic communication round (servers are workers 0..M-1)."""
+    rng = np.random.default_rng(seed * 7919 + round_idx)
+    server_ranks = list(range(num_servers))
+    honest = rng.standard_normal(dim)
+    updates: dict[int, WorkerUpdate] = {}
+    slices: dict[int, dict[int, np.ndarray]] = {}
+    uncertain_ids = set(range(num_servers, num_servers + uncertain))
+    for wid in range(num_workers):
+        # mostly honest-ish gradients plus a few deviating uploads, so
+        # both accept and reject branches get exercised
+        noise = rng.standard_normal(dim)
+        grad = honest + 0.3 * noise if wid % 5 else -2.0 * honest + noise
+        updates[wid] = WorkerUpdate(
+            worker_id=wid, gradient=grad, num_samples=100
+        )
+        if wid in uncertain_ids:
+            continue  # lost a slice: uncertain event, no delivery
+        parts = split_gradient(grad, num_servers)
+        slices[wid] = {srv: parts[j] for j, srv in enumerate(server_ranks)}
+    return RoundContext(
+        round_idx=round_idx,
+        global_params=np.zeros(dim),
+        server_ranks=server_ranks,
+        slices=slices,
+        updates=updates,
+        uncertain=uncertain_ids,
+        sample_counts={w: 100 for w in range(num_workers)},
+    )
+
+
+def time_engine(
+    engine: str,
+    num_workers: int,
+    dim: int,
+    num_servers: int,
+    rounds: int,
+    seed: int = 0,
+) -> dict:
+    """Run ``rounds`` synthetic rounds through one engine; per-phase seconds."""
+    profiler = Profiler()
+    mech = make_mechanism(
+        "fifl", threshold=0.0, gamma=0.2, engine=engine
+    )
+    mech.profiler = profiler
+    contexts = [
+        make_round(num_workers, dim, num_servers, t, seed=seed, uncertain=1)
+        for t in range(rounds)
+    ]
+    # Warm up BLAS threads / allocator on a throwaway mechanism so the
+    # first timed round isn't paying one-off setup costs.
+    warm = make_mechanism("fifl", threshold=0.0, gamma=0.2, engine=engine)
+    warm.profiler = Profiler()
+    warm.process_round(contexts[0])
+    t0 = time.perf_counter()
+    for ctx in contexts:
+        mech.process_round(ctx)
+    total = time.perf_counter() - t0
+    snap = profiler.snapshot()
+    phases = {
+        name: entry["seconds"] for name, entry in snap["timings"].items()
+    }
+    return {"total_s": total, "phases": phases}
+
+
+def run_benchmark(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    dim: int = DEFAULT_DIM,
+    num_servers: int = DEFAULT_SERVERS,
+    rounds: int = DEFAULT_ROUNDS,
+    seed: int = 0,
+) -> dict:
+    """Old-vs-new timings per federation size, with per-phase speedups."""
+    by_size: dict[int, dict] = {}
+    for n in sizes:
+        scalar = time_engine("scalar", n, dim, num_servers, rounds, seed)
+        vector = time_engine("vectorized", n, dim, num_servers, rounds, seed)
+        kernel_scalar = sum(scalar["phases"].get(p, 0.0) for p in KERNEL_PHASES)
+        kernel_vector = sum(vector["phases"].get(p, 0.0) for p in KERNEL_PHASES)
+        by_size[n] = {
+            "scalar": scalar,
+            "vectorized": vector,
+            "speedup_total": scalar["total_s"] / max(vector["total_s"], 1e-12),
+            "speedup_kernels": kernel_scalar / max(kernel_vector, 1e-12),
+        }
+    return {
+        "dim": dim,
+        "num_servers": num_servers,
+        "rounds": rounds,
+        "by_size": by_size,
+    }
+
+
+def format_report(result: dict) -> list[str]:
+    rows = [
+        f"Round-engine benchmark (D={result['dim']}, "
+        f"M={result['num_servers']}, {result['rounds']} rounds per timing)"
+    ]
+    rows.append(
+        f"{'N':>5} {'scalar_s':>10} {'vector_s':>10} "
+        f"{'speedup':>8} {'detect+contrib':>15}"
+    )
+    for n, r in result["by_size"].items():
+        rows.append(
+            f"{n:>5} {r['scalar']['total_s']:>10.4f} "
+            f"{r['vectorized']['total_s']:>10.4f} "
+            f"{r['speedup_total']:>7.1f}x {r['speedup_kernels']:>14.1f}x"
+        )
+    for n, r in result["by_size"].items():
+        rows.append(f"  per-phase seconds at N={n}:")
+        for name in sorted(set(r["scalar"]["phases"]) | set(r["vectorized"]["phases"])):
+            s = r["scalar"]["phases"].get(name, 0.0)
+            v = r["vectorized"]["phases"].get(name, 0.0)
+            rows.append(f"    {name:<20} scalar={s:.4f}  vectorized={v:.4f}")
+    return rows
+
+
+def bench_engine_speedup(benchmark):
+    """Pytest entry: the batched kernels must beat the scalar loops."""
+    result = benchmark.pedantic(
+        run_benchmark,
+        kwargs=dict(sizes=(64,), dim=2048, rounds=5),
+        iterations=1, rounds=1, warmup_rounds=0,
+    )
+    for row in format_report(result):
+        print(row)
+    assert result["by_size"][64]["speedup_kernels"] > 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke scale (small sizes/dim, fewer rounds)",
+    )
+    parser.add_argument(
+        "--sizes", default="",
+        help="comma-separated federation sizes (default 16,64,256)",
+    )
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--servers", type=int, default=DEFAULT_SERVERS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--json", default="", help="write the result as JSON")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip()) or (
+        (16, 64) if args.quick else DEFAULT_SIZES
+    )
+    dim = min(args.dim, 1024) if args.quick else args.dim
+    rounds = min(args.rounds, 3) if args.quick else args.rounds
+
+    result = run_benchmark(
+        sizes=sizes, dim=dim, num_servers=args.servers, rounds=rounds
+    )
+    for row in format_report(result):
+        print(row)
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2))
+        print(f"[saved {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import DetectionConfig, FIFLConfig, FIFLMechanism
+from repro.core import make_mechanism
 from repro.datasets import iid_partition, make_blobs, train_test_split
 from repro.fl import FederatedTrainer, HonestWorker, SignFlippingWorker
 from repro.nn import build_logreg
@@ -34,13 +34,13 @@ workers.append(
     )
 )
 
-# 3) the FIFL mechanism -------------------------------------------------------
-mechanism = FIFLMechanism(
-    FIFLConfig(
-        detection=DetectionConfig(threshold=0.0, mode="cosine"),
-        gamma=0.2,  # reputation time-decay (Eq. 10)
-        budget_per_round=1.0,  # I_sum distributed each round
-    )
+# 3) the FIFL mechanism (flat keywords route into the nested configs) ---------
+mechanism = make_mechanism(
+    "fifl",
+    threshold=0.0,
+    mode="cosine",
+    gamma=0.2,  # reputation time-decay (Eq. 10)
+    budget_per_round=1.0,  # I_sum distributed each round
 )
 
 # 4) train: polycentric architecture with servers {0, 1} ----------------------

@@ -14,7 +14,7 @@ Run:  python examples/unreliable_federation.py
 
 import numpy as np
 
-from repro.core import DetectionConfig, FIFLConfig, FIFLMechanism
+from repro.core import make_mechanism
 from repro.datasets import iid_partition, make_mnist_like, train_test_split
 from repro.fl import (
     DataPoisonWorker,
@@ -68,9 +68,8 @@ def run(unreliable: bool, defended: bool, ledger=None):
     workers = build_workers(shards, model_fn, unreliable)
     mechanism = None
     if defended:
-        mechanism = FIFLMechanism(
-            FIFLConfig(detection=DetectionConfig(threshold=0.0), gamma=GAMMA),
-            ledger=ledger,
+        mechanism = make_mechanism(
+            "fifl", ledger=ledger, threshold=0.0, gamma=GAMMA
         )
     trainer = FederatedTrainer(
         model_fn(), workers, server_ranks=[0, 1], test_data=test,

@@ -12,8 +12,11 @@ from .baselines import (
 )
 from .contribution import (
     contributions,
+    contributions_array,
     gradient_distance,
+    gradient_distances_matrix,
     normalized_shares,
+    normalized_shares_array,
     reference_baseline,
     sliced_distance,
     zero_baseline,
@@ -22,11 +25,27 @@ from .detection import (
     AttackDetector,
     DetectionConfig,
     classify,
+    classify_array,
     detection_scores,
+    detection_scores_matrix,
     server_score,
 )
+from .engine import RoundBatch, stack_benchmarks
+from .factory import (
+    MECHANISM_NAMES,
+    AcceptAllConfig,
+    AcceptAllMechanism,
+    KrumConfig,
+    MedianConfig,
+    make_mechanism,
+)
 from .fifl import FIFLConfig, FIFLMechanism, FIFLRoundRecord
-from .incentive import allocate_rewards, fairness_coefficient, reward_shares
+from .incentive import (
+    allocate_rewards,
+    fairness_coefficient,
+    reward_shares,
+    reward_shares_array,
+)
 from .loss_detection import LossBasedDetector
 from .reputation import DecayReputation, SLMReputation, theorem1_fixed_point
 from .robust import (
@@ -43,8 +62,22 @@ __all__ = [
     "AttackDetector",
     "DetectionConfig",
     "classify",
+    "classify_array",
     "detection_scores",
+    "detection_scores_matrix",
     "server_score",
+    "RoundBatch",
+    "stack_benchmarks",
+    "MECHANISM_NAMES",
+    "AcceptAllConfig",
+    "AcceptAllMechanism",
+    "KrumConfig",
+    "MedianConfig",
+    "make_mechanism",
+    "contributions_array",
+    "gradient_distances_matrix",
+    "normalized_shares_array",
+    "reward_shares_array",
     "SLMReputation",
     "DecayReputation",
     "theorem1_fixed_point",

@@ -25,11 +25,14 @@ import numpy as np
 
 __all__ = [
     "gradient_distance",
+    "gradient_distances_matrix",
     "sliced_distance",
     "zero_baseline",
     "reference_baseline",
     "contributions",
+    "contributions_array",
     "normalized_shares",
+    "normalized_shares_array",
 ]
 
 
@@ -43,6 +46,44 @@ def gradient_distance(global_grad: np.ndarray, worker_grad: np.ndarray) -> float
         )
     diff = global_grad - worker_grad
     return float(diff @ diff)
+
+
+def gradient_distances_matrix(
+    global_grad: np.ndarray,
+    gradients: np.ndarray,
+    row_sqnorms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched Eq. 13: ``b_i`` for every row of an ``(N, D)`` matrix.
+
+    Uses the expansion ``||G_i - G̃||² = ||G_i||² - 2 G_i·G̃ + ||G̃||²``
+    so the hot path is a single GEMV over the gradient matrix instead of
+    materializing an (N, D) difference. ``row_sqnorms`` (``||G_i||²``
+    per row) can be precomputed once per round and shared across calls
+    (e.g. the contribution filter's second pass). Rows where the
+    expansion is not exact — non-finite gradients from blown-up
+    training, or cancellation driving the result negative — are repaired
+    with the direct difference form, so results match the scalar
+    reference.
+    """
+    global_grad = np.asarray(global_grad, dtype=np.float64)
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if gradients.ndim != 2 or gradients.shape[1] != global_grad.shape[0]:
+        raise ValueError(
+            f"need (N, {global_grad.shape[0]}) matrix, got {gradients.shape}"
+        )
+    if row_sqnorms is None:
+        row_sqnorms = np.einsum("ij,ij->i", gradients, gradients)
+    dists = (
+        row_sqnorms
+        - 2.0 * (gradients @ global_grad)
+        + float(global_grad @ global_grad)
+    )
+    exact = np.isfinite(dists) & (dists >= 0.0)
+    if not exact.all():
+        rows = np.flatnonzero(~exact)
+        diff = gradients[rows] - global_grad[None, :]
+        dists[rows] = np.einsum("ij,ij->i", diff, diff)
+    return dists
 
 
 def sliced_distance(
@@ -83,6 +124,25 @@ def contributions(distances: dict[int, float], b_h: float) -> dict[int, float]:
         if b < 0.0:
             raise ValueError(f"negative distance for worker {wid}")
     return {wid: 1.0 - b / b_h for wid, b in distances.items()}
+
+
+def contributions_array(distances: np.ndarray, b_h: float) -> np.ndarray:
+    """Batched Eq. 14: ``C_i = 1 - b_i / b_h`` over a distance vector."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if b_h <= 0.0:
+        raise ValueError(f"baseline distance b_h must be positive, got {b_h}")
+    if (distances < 0.0).any():
+        raise ValueError("negative distance")
+    return 1.0 - distances / b_h
+
+
+def normalized_shares_array(contribs: np.ndarray) -> np.ndarray:
+    """Batched contribution weights of Eq. 15 (see :func:`normalized_shares`)."""
+    contribs = np.asarray(contribs, dtype=np.float64)
+    positive_total = contribs[contribs > 0.0].sum()
+    if positive_total <= 0.0:
+        return np.zeros_like(contribs)
+    return contribs / positive_total
 
 
 def normalized_shares(contribs: dict[int, float]) -> dict[int, float]:

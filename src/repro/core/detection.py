@@ -32,7 +32,9 @@ __all__ = [
     "DetectionConfig",
     "server_score",
     "detection_scores",
+    "detection_scores_matrix",
     "classify",
+    "classify_array",
     "AttackDetector",
 ]
 
@@ -120,9 +122,77 @@ def detection_scores(
     return scores
 
 
+def detection_scores_matrix(
+    worker_ids: np.ndarray,
+    gradients: np.ndarray,
+    offsets: np.ndarray,
+    benchmark_ranks: np.ndarray,
+    benchmark_slots: np.ndarray,
+    benchmarks: list[np.ndarray],
+    mode: str = "cosine",
+) -> np.ndarray:
+    """Batched Eq. 6: all workers' global scores in one GEMM per server.
+
+    The vectorized counterpart of :func:`detection_scores` for the round
+    engine's data layout: worker gradients stacked row-wise into an
+    ``(N, D)`` matrix whose column block ``offsets[j]:offsets[j+1]`` is
+    the slice held by server ``j``. Per server the N inner products are
+    one matrix-vector product; cosine mode divides by row and benchmark
+    norms computed via a single ``einsum`` per block.
+
+    Parameters
+    ----------
+    worker_ids : ``(N,)`` worker id per row (for self-scoring exclusion).
+    gradients : ``(N, D)`` full gradient per delivered worker.
+    offsets : ``(M+1,)`` column offsets of the per-server slices.
+    benchmark_ranks : worker id of each scoring server.
+    benchmark_slots : slice index ``j`` of each scoring server (its
+        position in the sorted server list, selecting the column block).
+    benchmarks : the servers' own local slices ``g_j^j``, aligned with
+        ``benchmark_ranks``.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    n = gradients.shape[0]
+    m = len(benchmarks)
+    if m == 0:
+        raise ValueError("need at least one server benchmark")
+    totals = np.zeros(n)
+    counted = np.full(n, m, dtype=np.float64)
+    for rank, slot, bench in zip(benchmark_ranks, benchmark_slots, benchmarks):
+        block = gradients[:, offsets[slot] : offsets[slot + 1]]
+        inner = block @ bench
+        if mode == "cosine":
+            denom = np.sqrt(np.einsum("ij,ij->i", block, block)) * float(
+                np.linalg.norm(bench)
+            )
+            scores_j = np.divide(
+                inner, denom, out=np.zeros(n), where=denom > 0.0
+            )
+        else:
+            scores_j = inner
+        if m > 1:
+            # A server never scores itself (see detection_scores).
+            self_rows = worker_ids == rank
+            scores_j = np.where(self_rows, 0.0, scores_j)
+            counted -= self_rows
+        totals += scores_j
+    if (counted == 0).any():
+        bad = worker_ids[counted == 0].tolist()
+        raise ValueError(f"workers {bad} scored by no server")
+    if mode == "cosine":
+        return totals / counted
+    return totals * (m / counted)
+
+
 def classify(scores: dict[int, float], threshold: float) -> dict[int, bool]:
     """Eq. 7: ``r_i = 1`` (honest) iff ``S_i >= S_y``."""
     return {wid: s >= threshold for wid, s in scores.items()}
+
+
+def classify_array(scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Eq. 7 on a score vector: boolean mask ``S_i >= S_y``."""
+    return np.asarray(scores, dtype=np.float64) >= threshold
 
 
 class AttackDetector:

@@ -15,6 +15,18 @@ round:
 4. **Incentive** — reward shares ``I_i = R_i · C_i / ΣC⁺`` (Eq. 15),
    scaled by the round budget; punishments are negative rewards.
 
+Two interchangeable engines implement the pipeline (``FIFLConfig.engine``):
+
+* ``"vectorized"`` (default) — the round's gradients are stacked once
+  into a :class:`~repro.core.engine.RoundBatch` matrix and every phase
+  runs as batched NumPy ops (one GEMM per server for detection, one
+  broadcasted reduction for distances, masked arithmetic for rewards).
+* ``"scalar"`` — the literal per-worker reference implementation, kept
+  for differential testing; both engines agree to < 1e-8 on every
+  per-round output (see ``tests/core/test_engine.py``).
+
+Phase wall-clock lands in :mod:`repro.profiling` under ``fifl.*`` keys.
+
 Every round's intermediate results can be committed to a blockchain ledger
 (S4.5) for the audit protocol.
 """
@@ -25,19 +37,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..fl.gradients import fedavg, recombine, split_gradient
+from ..fl.gradients import fedavg, recombine, slice_offsets, split_gradient
 from ..fl.trainer import RoundContext, RoundDecision
+from ..profiling import Profiler, get_profiler
 from .contribution import (
     contributions,
+    contributions_array,
     gradient_distance,
+    gradient_distances_matrix,
     reference_baseline,
     zero_baseline,
 )
-from .detection import AttackDetector, DetectionConfig
-from .incentive import allocate_rewards, reward_shares
+from .detection import AttackDetector, DetectionConfig, detection_scores_matrix
+from .engine import RoundBatch, stack_benchmarks
+from .incentive import allocate_rewards, reward_shares, reward_shares_array
 from .reputation import DecayReputation, SLMReputation
 
 __all__ = ["FIFLRoundRecord", "FIFLMechanism"]
+
+_ENGINES = ("vectorized", "scalar")
 
 
 @dataclass
@@ -84,6 +102,9 @@ class FIFLConfig:
     # the quality ordering; the trusted server mean does not have this
     # failure mode (see EXPERIMENTS.md, Figs. 12-13).
     contribution_reference: str = "aggregate"
+    # Round pipeline implementation: "vectorized" (batched matrix engine)
+    # or "scalar" (per-worker reference path, for differential testing).
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.contribution_baseline not in ("zero", "reference"):
@@ -102,12 +123,19 @@ class FIFLConfig:
             raise ValueError("reputation_mode must be 'decay' or 'slm'")
         if self.slm_period <= 0:
             raise ValueError("slm_period must be positive")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}")
 
 
 class FIFLMechanism:
     """Stateful FIFL round mechanism (implements ``RoundMechanism``)."""
 
-    def __init__(self, config: FIFLConfig | None = None, ledger=None):
+    def __init__(
+        self,
+        config: FIFLConfig | None = None,
+        ledger=None,
+        profiler: Profiler | None = None,
+    ):
         self.config = config if config is not None else FIFLConfig()
         self.detector = AttackDetector(self.config.detection)
         self.reputation = DecayReputation(
@@ -117,6 +145,7 @@ class FIFLMechanism:
         self.slm = SLMReputation(alpha_t=a_t, alpha_n=a_n, alpha_u=a_u)
         self._rounds_seen = 0
         self.ledger = ledger
+        self.profiler = profiler if profiler is not None else get_profiler()
         self.records: list[FIFLRoundRecord] = []
         self._cumulative_rewards: dict[int, float] = {}
 
@@ -190,15 +219,32 @@ class FIFLMechanism:
             return distances, b_h, contributions(distances, b_h)
         return distances, None, {w: 0.0 for w in distances}
 
-    # -- main entry point --------------------------------------------------------
+    def _score_contributions_batch(
+        self, reference_grad: np.ndarray, batch: RoundBatch
+    ) -> tuple[np.ndarray, float | None, np.ndarray]:
+        """Batched ``_score_contributions``: one reduction for all workers."""
+        dist_vec = gradient_distances_matrix(
+            reference_grad, batch.gradients, row_sqnorms=batch.row_sqnorms
+        )
+        ref_worker = self.config.reference_worker
+        b_h: float | None
+        if (
+            self.config.contribution_baseline == "reference"
+            and ref_worker is not None
+            and (batch.worker_ids == ref_worker).any()
+        ):
+            idx = int(np.searchsorted(batch.worker_ids, ref_worker))
+            b_h = float(dist_vec[idx])
+        else:
+            b_h = zero_baseline(reference_grad)
+        if b_h > 0.0:
+            return dist_vec, b_h, contributions_array(dist_vec, b_h)
+        return dist_vec, None, np.zeros_like(dist_vec)
 
-    def process_round(self, ctx: RoundContext) -> RoundDecision:
-        # 1) attack detection on delivered slices
-        benchmarks = self._benchmarks(ctx)
-        scores, accepted = self.detector.detect(ctx.slices, benchmarks)
-
-        # 2) reputation update: boolean outcome per scored worker,
-        #    uncertain (None) for lost uploads
+    def _update_reputations(
+        self, ctx: RoundContext, scores: dict[int, float], accepted: dict[int, bool]
+    ) -> tuple[dict[int, bool | None], dict[int, float]]:
+        """Fold detection outcomes (plus uncertain events) into reputations."""
         outcomes: dict[int, bool | None] = {w: accepted[w] for w in scores}
         for w in ctx.uncertain:
             outcomes[w] = None
@@ -212,56 +258,208 @@ class FIFLMechanism:
                 self.slm.reset_period()
         else:
             reputations = decayed
+        return outcomes, reputations
+
+    # -- main entry point --------------------------------------------------------
+
+    def process_round(self, ctx: RoundContext) -> RoundDecision:
+        if self.config.engine == "vectorized":
+            return self._process_round_vectorized(ctx)
+        return self._process_round_scalar(ctx)
+
+    def _process_round_scalar(self, ctx: RoundContext) -> RoundDecision:
+        """Reference per-worker pipeline (``engine="scalar"``)."""
+        prof = self.profiler
+        # 1) attack detection on delivered slices
+        with prof.phase("fifl.detect"):
+            benchmarks = self._benchmarks(ctx)
+            scores, accepted = self.detector.detect(ctx.slices, benchmarks)
+
+        # 2) reputation update: boolean outcome per scored worker,
+        #    uncertain (None) for lost uploads
+        with prof.phase("fifl.reputation"):
+            outcomes, reputations = self._update_reputations(ctx, scores, accepted)
 
         # 3) contributions against the filtered global gradient
-        global_grad = self._filtered_global_gradient(ctx, accepted)
-        distances: dict[int, float] = {}
-        contribs: dict[int, float] = {}
-        b_h: float | None = None
-        if global_grad is not None:
-            full_grads = {
-                w: recombine([ctx.slices[w][srv] for srv in ctx.server_ranks])
-                for w in ctx.slices
-            }
-            reference_grad = (
-                self._server_mean_gradient(ctx)
-                if self.config.contribution_reference == "server_mean"
-                else global_grad
-            )
-            if reference_grad is None:
-                reference_grad = global_grad
-            distances, b_h, contribs = self._score_contributions(
-                reference_grad, full_grads
-            )
-            if self.config.contribution_filter and any(
-                c < 0.0 for c in contribs.values()
-            ):
-                # Second pass (S4.3's free-rider guard, closed loop): the
-                # first pass's negative contributors are below the quality
-                # bar, so their gradients are removed from the aggregate
-                # and everyone is re-scored against the cleaned G̃. This
-                # keeps low-quality gradients from biasing the reference
-                # point that scores everyone else.
-                keep = {
-                    w: accepted.get(w, False) and contribs.get(w, 0.0) >= 0.0
+        with prof.phase("fifl.contribution"):
+            global_grad = self._filtered_global_gradient(ctx, accepted)
+            distances: dict[int, float] = {}
+            contribs: dict[int, float] = {}
+            b_h: float | None = None
+            if global_grad is not None:
+                full_grads = {
+                    w: recombine([ctx.slices[w][srv] for srv in ctx.server_ranks])
                     for w in ctx.slices
                 }
-                if self.config.contribution_reference == "aggregate":
-                    cleaned = self._filtered_global_gradient(ctx, keep)
-                    if cleaned is not None:
-                        distances, b_h, contribs = self._score_contributions(
-                            cleaned, full_grads
-                        )
+                reference_grad = (
+                    self._server_mean_gradient(ctx)
+                    if self.config.contribution_reference == "server_mean"
+                    else global_grad
+                )
+                if reference_grad is None:
+                    reference_grad = global_grad
+                distances, b_h, contribs = self._score_contributions(
+                    reference_grad, full_grads
+                )
+                if self.config.contribution_filter and any(
+                    c < 0.0 for c in contribs.values()
+                ):
+                    # Second pass (S4.3's free-rider guard, closed loop): the
+                    # first pass's negative contributors are below the quality
+                    # bar, so their gradients are removed from the aggregate
+                    # and everyone is re-scored against the cleaned G̃. This
+                    # keeps low-quality gradients from biasing the reference
+                    # point that scores everyone else.
+                    keep = {
+                        w: accepted.get(w, False) and contribs.get(w, 0.0) >= 0.0
+                        for w in ctx.slices
+                    }
+                    if self.config.contribution_reference == "aggregate":
+                        cleaned = self._filtered_global_gradient(ctx, keep)
+                        if cleaned is not None:
+                            distances, b_h, contribs = self._score_contributions(
+                                cleaned, full_grads
+                            )
 
         # 4) incentive: shares and budget-scaled rewards
-        if contribs:
-            reps_for_shares = {w: reputations.get(w, self.reputation.reputation(w)) for w in contribs}
-            shares = reward_shares(
-                reps_for_shares, contribs, punish_mode=self.config.punish_mode
+        with prof.phase("fifl.incentive"):
+            if contribs:
+                reps_for_shares = {
+                    w: reputations.get(w, self.reputation.reputation(w))
+                    for w in contribs
+                }
+                shares = reward_shares(
+                    reps_for_shares, contribs, punish_mode=self.config.punish_mode
+                )
+            else:
+                shares = {}
+            rewards = allocate_rewards(shares, self.config.budget_per_round)
+
+        return self._finalize(
+            ctx, scores, accepted, outcomes, reputations, distances, b_h,
+            contribs, shares, rewards,
+        )
+
+    def _process_round_vectorized(self, ctx: RoundContext) -> RoundDecision:
+        """Batched pipeline over the round's ``(N, D)`` gradient matrix."""
+        prof = self.profiler
+        cfg = self.config
+
+        with prof.phase("fifl.batch"):
+            batch = RoundBatch.from_context(ctx)
+            dim = None
+            for srv in ctx.server_ranks:
+                upd = ctx.updates.get(srv)
+                if upd is not None:
+                    dim = np.asarray(upd.gradient).size
+                    break
+            if dim is None:
+                raise RuntimeError(
+                    "no server produced a local gradient; cannot detect"
+                )
+            offsets = (
+                batch.offsets
+                if batch is not None
+                else slice_offsets(dim, len(ctx.server_ranks))
             )
-        else:
-            shares = {}
-        rewards = allocate_rewards(shares, self.config.budget_per_round)
+
+        # 1) attack detection: one GEMM per server over the slice blocks
+        with prof.phase("fifl.detect"):
+            ranks, slots, bench_slices = stack_benchmarks(ctx, offsets)
+            if batch is not None:
+                score_vec = detection_scores_matrix(
+                    batch.worker_ids,
+                    batch.gradients,
+                    batch.offsets,
+                    ranks,
+                    slots,
+                    bench_slices,
+                    cfg.detection.mode,
+                )
+                accept_vec = score_vec >= cfg.detection.threshold
+                scores = batch.to_dict(score_vec)
+                accepted = batch.to_dict(accept_vec)
+            else:
+                scores, accepted = {}, {}
+            prof.count("fifl.workers_scored", len(scores))
+
+        # 2) reputation (stateful EMA/SLM; O(N) dict update, not a hot path)
+        with prof.phase("fifl.reputation"):
+            outcomes, reputations = self._update_reputations(ctx, scores, accepted)
+
+        # 3) contributions: masked row-average for G̃, one batched reduction
+        #    for all distances
+        with prof.phase("fifl.contribution"):
+            distances: dict[int, float] = {}
+            contribs: dict[int, float] = {}
+            b_h: float | None = None
+            contrib_vec = None
+            if batch is not None:
+                accept_mask = np.asarray(
+                    [accepted[int(w)] for w in batch.worker_ids], dtype=bool
+                )
+                global_grad = batch.weighted_average(accept_mask)
+                if global_grad is not None:
+                    reference_grad = (
+                        self._server_mean_gradient(ctx)
+                        if cfg.contribution_reference == "server_mean"
+                        else global_grad
+                    )
+                    if reference_grad is None:
+                        reference_grad = global_grad
+                    dist_vec, b_h, contrib_vec = self._score_contributions_batch(
+                        reference_grad, batch
+                    )
+                    if cfg.contribution_filter and (contrib_vec < 0.0).any():
+                        # Second pass: drop first-pass negative contributors
+                        # from the aggregate, re-score everyone (see the
+                        # scalar path for the rationale).
+                        if cfg.contribution_reference == "aggregate":
+                            keep_mask = accept_mask & (contrib_vec >= 0.0)
+                            cleaned = batch.weighted_average(keep_mask)
+                            if cleaned is not None:
+                                dist_vec, b_h, contrib_vec = (
+                                    self._score_contributions_batch(cleaned, batch)
+                                )
+                    distances = batch.to_dict(dist_vec)
+                    contribs = batch.to_dict(contrib_vec)
+
+        # 4) incentive: masked share arithmetic, budget scaling
+        with prof.phase("fifl.incentive"):
+            if batch is not None and contrib_vec is not None:
+                rep_vec = np.asarray(
+                    [
+                        reputations.get(int(w), self.reputation.reputation(int(w)))
+                        for w in batch.worker_ids
+                    ]
+                )
+                share_vec = reward_shares_array(
+                    rep_vec, contrib_vec, punish_mode=cfg.punish_mode
+                )
+                shares = batch.to_dict(share_vec)
+                rewards = batch.to_dict(share_vec * cfg.budget_per_round)
+            else:
+                shares, rewards = {}, {}
+
+        return self._finalize(
+            ctx, scores, accepted, outcomes, reputations, distances, b_h,
+            contribs, shares, rewards,
+        )
+
+    def _finalize(
+        self,
+        ctx: RoundContext,
+        scores: dict[int, float],
+        accepted: dict[int, bool],
+        outcomes: dict[int, bool | None],
+        reputations: dict[int, float],
+        distances: dict[int, float],
+        b_h: float | None,
+        contribs: dict[int, float],
+        shares: dict[int, float],
+        rewards: dict[int, float],
+    ) -> RoundDecision:
+        """Shared bookkeeping: cumulative rewards, records, ledger, verdict."""
         for w, amount in rewards.items():
             self._cumulative_rewards[w] = self._cumulative_rewards.get(w, 0.0) + amount
 
@@ -278,20 +476,21 @@ class FIFLMechanism:
         )
         self.records.append(record)
         if self.ledger is not None:
-            self.ledger.append(
-                {
-                    "round": ctx.round_idx,
-                    "scores": scores,
-                    # full outcome map: True/False detection results plus
-                    # None for uncertain (lost-upload) events, so the audit
-                    # protocol can replay reputations exactly (S4.5)
-                    "accepted": outcomes,
-                    "reputations": dict(reputations),
-                    "contributions": contribs,
-                    "rewards": rewards,
-                },
-                signer="server-cluster",
-            )
+            with self.profiler.phase("fifl.ledger"):
+                self.ledger.append(
+                    {
+                        "round": ctx.round_idx,
+                        "scores": scores,
+                        # full outcome map: True/False detection results plus
+                        # None for uncertain (lost-upload) events, so the audit
+                        # protocol can replay reputations exactly (S4.5)
+                        "accepted": outcomes,
+                        "reputations": dict(reputations),
+                        "contributions": contribs,
+                        "rewards": rewards,
+                    },
+                    signer="server-cluster",
+                )
 
         return RoundDecision(
             accept=accepted,

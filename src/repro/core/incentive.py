@@ -16,9 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .contribution import normalized_shares
+from .contribution import normalized_shares, normalized_shares_array
 
-__all__ = ["reward_shares", "allocate_rewards", "fairness_coefficient"]
+__all__ = [
+    "reward_shares",
+    "reward_shares_array",
+    "allocate_rewards",
+    "fairness_coefficient",
+]
 
 
 def reward_shares(
@@ -56,6 +61,34 @@ def reward_shares(
             out[wid] = reputations[wid] * share
         else:
             out[wid] = contribs[wid] / abs_total if abs_total > 0 else 0.0
+    return out
+
+
+def reward_shares_array(
+    reputations: np.ndarray,
+    contribs: np.ndarray,
+    punish_mode: str = "contribution",
+) -> np.ndarray:
+    """Batched Eq. 15 over aligned reputation/contribution vectors.
+
+    Mirrors :func:`reward_shares` exactly (both punish modes), with the
+    per-worker loop replaced by masked array arithmetic.
+    """
+    reputations = np.asarray(reputations, dtype=np.float64)
+    contribs = np.asarray(contribs, dtype=np.float64)
+    if reputations.shape != contribs.shape or reputations.ndim != 1:
+        raise ValueError("reputations and contribs must be aligned vectors")
+    if punish_mode not in ("contribution", "eq15"):
+        raise ValueError(f"unknown punish_mode {punish_mode!r}")
+    shares = normalized_shares_array(contribs)
+    out = reputations * shares
+    if punish_mode == "contribution":
+        negative = shares < 0.0
+        if negative.any():
+            abs_total = np.abs(contribs).sum()
+            out[negative] = (
+                contribs[negative] / abs_total if abs_total > 0 else 0.0
+            )
     return out
 
 

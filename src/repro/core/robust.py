@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..fl.gradients import recombine
 from ..fl.trainer import RoundContext, RoundDecision
+from .engine import RoundBatch
 
 __all__ = [
     "coordinate_median",
@@ -34,7 +34,14 @@ __all__ = [
 ]
 
 
-def _stack(gradients: list[np.ndarray]) -> np.ndarray:
+def _stack(gradients) -> np.ndarray:
+    """Accept a list of flat vectors or an already-stacked (N, D) matrix."""
+    if isinstance(gradients, np.ndarray):
+        if gradients.ndim != 2:
+            raise ValueError("gradient matrix must be 2-D")
+        if gradients.shape[0] == 0:
+            raise ValueError("no gradients to aggregate")
+        return np.asarray(gradients, dtype=np.float64)
     if not gradients:
         raise ValueError("no gradients to aggregate")
     stacked = np.stack([np.asarray(g, dtype=np.float64) for g in gradients])
@@ -85,22 +92,13 @@ def krum(gradients: list[np.ndarray], num_byzantine: int) -> int:
     return int(np.argmin(scores))
 
 
-class _RobustBase:
-    """Shared plumbing: recombine each worker's slices into a full vector."""
-
-    @staticmethod
-    def _full_gradients(ctx: RoundContext) -> dict[int, np.ndarray]:
-        return {
-            w: recombine([ctx.slices[w][srv] for srv in ctx.server_ranks])
-            for w in sorted(ctx.slices)
-        }
-
-
-class KrumMechanism(_RobustBase):
+class KrumMechanism:
     """Round mechanism: accept only the single Krum-selected worker.
 
     The trainer's weighted average over one accepted worker reduces to
-    exactly that worker's gradient, which is Krum's model update.
+    exactly that worker's gradient, which is Krum's model update. The
+    delivered slices are stacked once into a :class:`RoundBatch` matrix;
+    Krum's pairwise distances are a single Gram-matrix GEMM over it.
     """
 
     def __init__(self, num_byzantine: int):
@@ -109,22 +107,26 @@ class KrumMechanism(_RobustBase):
         self.num_byzantine = num_byzantine
 
     def process_round(self, ctx: RoundContext) -> RoundDecision:
-        grads = self._full_gradients(ctx)
-        ids = sorted(grads)
-        winner = ids[krum([grads[w] for w in ids], self.num_byzantine)]
+        batch = RoundBatch.from_context(ctx)
+        if batch is None:
+            return RoundDecision(accept={})
+        winner = int(
+            batch.worker_ids[krum(batch.gradients, self.num_byzantine)]
+        )
         return RoundDecision(
-            accept={w: (w == winner) for w in ids},
+            accept={int(w): bool(w == winner) for w in batch.worker_ids},
             records={"krum_selected": winner},
         )
 
 
-class MedianMechanism(_RobustBase):
+class MedianMechanism:
     """Round mechanism: accept workers whose gradient is near the median.
 
     The per-coordinate median itself is not expressible as a weighted
     average of uploads, so this wrapper accepts the ``keep_fraction`` of
     workers closest (L2) to the coordinate-median vector — a practical
-    median-filtering defence with the same intent.
+    median-filtering defence with the same intent. Median and distances
+    are batched column/row reductions over the round's gradient matrix.
     """
 
     def __init__(self, keep_fraction: float = 0.5):
@@ -133,13 +135,16 @@ class MedianMechanism(_RobustBase):
         self.keep_fraction = keep_fraction
 
     def process_round(self, ctx: RoundContext) -> RoundDecision:
-        grads = self._full_gradients(ctx)
-        ids = sorted(grads)
-        med = coordinate_median([grads[w] for w in ids])
-        dists = {w: float(np.linalg.norm(grads[w] - med)) for w in ids}
-        keep = max(1, int(round(self.keep_fraction * len(ids))))
-        kept = set(sorted(ids, key=lambda w: dists[w])[:keep])
+        batch = RoundBatch.from_context(ctx)
+        if batch is None:
+            return RoundDecision(accept={})
+        med = coordinate_median(batch.gradients)
+        dist_vec = np.linalg.norm(batch.gradients - med[None, :], axis=1)
+        dists = {int(w): float(d) for w, d in zip(batch.worker_ids, dist_vec)}
+        keep = max(1, int(round(self.keep_fraction * batch.num_workers)))
+        order = np.lexsort((batch.worker_ids, dist_vec))
+        kept = set(int(w) for w in batch.worker_ids[order[:keep]])
         return RoundDecision(
-            accept={w: (w in kept) for w in ids},
+            accept={int(w): (w in kept) for w in batch.worker_ids},
             records={"median_distances": dists},
         )

@@ -1,4 +1,9 @@
-"""Experiment drivers: one module per paper figure (see DESIGN.md index)."""
+"""Experiment drivers: one module per paper figure (see DESIGN.md index).
+
+Every driver implements the uniform protocol ``default_config() ->
+Config`` / ``run(cfg) -> dict`` / ``format_rows(result) -> list[str]``;
+the CLI runner executes any of them through :mod:`.registry`.
+"""
 
 from . import (
     arch_comm,
@@ -16,18 +21,28 @@ from . import (
     fig14_punishments,
     noniid,
 )
+from . import registry
 from .common import (
     AttackerSpec,
+    DriverConfig,
     FedExpConfig,
+    FigureConfig,
     build_federation,
     data_poison,
     probabilistic,
     run_federated,
     sign_flip,
 )
+from .registry import FIGURES, REGISTRY, FigureSpec
 
 __all__ = [
     "AttackerSpec",
+    "DriverConfig",
+    "FigureConfig",
+    "FigureSpec",
+    "REGISTRY",
+    "FIGURES",
+    "registry",
     "FedExpConfig",
     "build_federation",
     "run_federated",

@@ -10,25 +10,36 @@ node from the network substrate's accounting.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..fl import FederatedTrainer
 from ..nn import build_logreg
-from .common import FedExpConfig, build_federation
+from .common import DriverConfig, FedExpConfig, build_federation
 
-__all__ = ["run", "format_rows"]
+__all__ = ["ArchCommConfig", "default_config", "run", "format_rows"]
 
 
-def run(
-    num_workers: int = 8,
-    rounds: int = 5,
-    seed: int = 0,
-) -> dict:
+@dataclass(frozen=True)
+class ArchCommConfig(DriverConfig):
+    num_workers: int = 8
+    rounds: int = 5
+    seed: int = 0
+
+
+def default_config() -> ArchCommConfig:
+    return ArchCommConfig()
+
+
+def run(cfg: ArchCommConfig | None = None, **overrides) -> dict:
     """Per-node communication load per architecture.
 
     Returns per-architecture: total bytes, max node load (the
     bottleneck), and the load vector.
     """
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
+    num_workers, rounds, seed = cfg.num_workers, cfg.rounds, cfg.seed
     if num_workers < 4:
         raise ValueError("need at least 4 workers for three architectures")
     architectures = {
@@ -36,7 +47,7 @@ def run(
         f"polycentric (M={num_workers // 2})": list(range(0, num_workers, 2)),
         f"decentralized (M={num_workers})": list(range(num_workers)),
     }
-    cfg = FedExpConfig(
+    fed = FedExpConfig(
         dataset="blobs",
         num_workers=num_workers,
         samples_per_worker=60,
@@ -47,10 +58,10 @@ def run(
     )
     out: dict[str, dict] = {}
     for name, ranks in architectures.items():
-        model, workers, test = build_federation(cfg)
+        model, workers, test = build_federation(fed)
         trainer = FederatedTrainer(
             model, workers, ranks, test_data=test,
-            server_lr=cfg.server_lr, seed=seed,
+            server_lr=fed.server_lr, seed=seed,
         )
         history = trainer.run(rounds, eval_every=rounds)
         load = trainer.node_comm_load()

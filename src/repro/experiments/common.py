@@ -14,12 +14,12 @@ the full-scale run is one config away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable
 
 import numpy as np
 
-from ..core import DetectionConfig, FIFLConfig, FIFLMechanism
+from ..core import FIFLMechanism, make_mechanism
 from ..datasets import (
     Dataset,
     iid_partition,
@@ -44,10 +44,46 @@ __all__ = [
     "sign_flip",
     "data_poison",
     "probabilistic",
+    "DriverConfig",
+    "FigureConfig",
     "FedExpConfig",
     "build_federation",
     "run_federated",
 ]
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """Base for figure-driver configs (the unified driver protocol).
+
+    Every experiment driver exposes ``default_config() -> Config``,
+    ``run(cfg) -> dict`` and ``format_rows(result) -> list[str]``; the
+    runner's registry scales any config the same way: ``cfg.scaled(...)``.
+    """
+
+    def scaled(self, **overrides) -> "DriverConfig":
+        """Copy with overrides (unknown keywords raise)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class FigureConfig(DriverConfig):
+    """Driver config that wraps a :class:`FedExpConfig` as ``fed``.
+
+    ``scaled`` routes overrides by name: fields of the figure config are
+    applied directly, everything else is forwarded into ``fed.scaled``
+    — so ``cfg.scaled(rounds=10, thresholds=(0.0,))`` adjusts both
+    layers in one call.
+    """
+
+    def scaled(self, **overrides) -> "FigureConfig":
+        own = {f.name for f in fields(self)} - {"fed"}
+        top = {k: v for k, v in overrides.items() if k in own}
+        fed_kw = {k: v for k, v in overrides.items() if k not in own}
+        cfg = replace(self, **top) if top else self
+        if fed_kw:
+            cfg = replace(cfg, fed=cfg.fed.scaled(**fed_kw))
+        return cfg
 
 
 @dataclass(frozen=True)
@@ -116,6 +152,9 @@ class FedExpConfig:
     reference_worker: int | None = None
     contribution_filter: bool = False
     contribution_reference: str = "aggregate"
+    # round-engine selection: "vectorized" (batched kernels) or "scalar"
+    # (the reference per-worker loops, kept for differential testing)
+    engine: str = "vectorized"
 
     def scaled(self, **overrides) -> "FedExpConfig":
         """Copy with overrides (e.g. full-paper scale)."""
@@ -209,18 +248,17 @@ def run_federated(
     model, workers, test = build_federation(cfg, attackers)
     mechanism = None
     if with_fifl:
-        mechanism = FIFLMechanism(
-            FIFLConfig(
-                detection=DetectionConfig(
-                    threshold=cfg.detection_threshold, mode=cfg.detection_mode
-                ),
-                gamma=cfg.gamma,
-                contribution_baseline=cfg.contribution_baseline,
-                reference_worker=cfg.reference_worker,
-                contribution_filter=cfg.contribution_filter,
-                contribution_reference=cfg.contribution_reference,
-            ),
+        mechanism = make_mechanism(
+            "fifl",
             ledger=ledger,
+            threshold=cfg.detection_threshold,
+            mode=cfg.detection_mode,
+            gamma=cfg.gamma,
+            contribution_baseline=cfg.contribution_baseline,
+            reference_worker=cfg.reference_worker,
+            contribution_filter=cfg.contribution_filter,
+            contribution_reference=cfg.contribution_reference,
+            engine=cfg.engine,
         )
     trainer = FederatedTrainer(
         model,

@@ -15,16 +15,31 @@ failures. Three scenarios, one mid-training crash each:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..core import DetectionConfig, FIFLConfig, FIFLMechanism
+from ..core import make_mechanism
 from ..datasets import iid_partition, make_blobs, train_test_split
 from ..fl import FederatedTrainer, HonestWorker
 from ..nn import build_logreg
+from .common import DriverConfig
 
-__all__ = ["run", "format_rows"]
+__all__ = ["FaultToleranceConfig", "default_config", "run", "format_rows"]
 
 _N_FEATURES, _N_CLASSES = 16, 4
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig(DriverConfig):
+    num_workers: int = 8
+    rounds: int = 24
+    fail_at: int = 5
+    seed: int = 0
+
+
+def default_config() -> FaultToleranceConfig:
+    return FaultToleranceConfig()
 
 
 def _build(num_workers: int, seed: int, reselect_every: int):
@@ -41,9 +56,7 @@ def _build(num_workers: int, seed: int, reselect_every: int):
         HonestWorker(i, shards[i], model_fn, lr=0.1, seed=seed + 100 + i)
         for i in range(num_workers)
     ]
-    mech = FIFLMechanism(
-        FIFLConfig(detection=DetectionConfig(threshold=0.0), gamma=0.4)
-    )
+    mech = make_mechanism("fifl", threshold=0.0, gamma=0.4)
     trainer = FederatedTrainer(
         model_fn(), workers, [0, 1], test_data=test, mechanism=mech,
         server_lr=0.1, seed=seed, reselect_every=reselect_every,
@@ -71,13 +84,12 @@ def _run_with_failure(
     return accs, trainer
 
 
-def run(
-    num_workers: int = 8,
-    rounds: int = 24,
-    fail_at: int = 5,
-    seed: int = 0,
-) -> dict:
+def run(cfg: FaultToleranceConfig | None = None, **overrides) -> dict:
     """Accuracy trajectories for the three failure scenarios + baseline."""
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
+    num_workers, rounds, fail_at, seed = (
+        cfg.num_workers, cfg.rounds, cfg.fail_at, cfg.seed,
+    )
     if not 0 < fail_at < rounds:
         raise ValueError("fail_at must fall inside the training run")
     scenarios: dict[str, dict] = {}

@@ -6,31 +6,44 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..market import MECHANISMS, MarketConfig, MarketSimulator
+from .common import DriverConfig
 
-__all__ = ["run", "format_rows"]
+__all__ = ["Fig04Config", "default_config", "run", "format_rows"]
 
 
-def run(
-    repetitions: int = 20,
-    num_workers: int = 20,
-    probe_rounds: int = 4,
-    seed: int = 0,
-) -> dict:
+@dataclass(frozen=True)
+class Fig04Config(DriverConfig):
+    repetitions: int = 20
+    num_workers: int = 20
+    probe_rounds: int = 4
+    seed: int = 0
+
+
+def default_config() -> Fig04Config:
+    return Fig04Config()
+
+
+def run(cfg: Fig04Config | None = None, **overrides) -> dict:
     """Compute Fig. 4(a)+(b) series.
 
     Returns ``{"edges", "rewards": {mech: [per-group]}, "attractiveness":
-    {mech: [per-group]}}``.
+    {mech: [per-group]}}``. Keyword overrides are applied on top of
+    ``cfg`` (or the default config) via ``cfg.scaled``.
     """
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
+    repetitions = cfg.repetitions
     sim = MarketSimulator(
         MarketConfig(
-            num_workers=num_workers,
-            repetitions=repetitions,
-            fifl_probe_rounds=probe_rounds,
+            num_workers=cfg.num_workers,
+            repetitions=cfg.repetitions,
+            fifl_probe_rounds=cfg.probe_rounds,
         ),
-        seed=seed,
+        seed=cfg.seed,
     )
     rewards, edges = sim.reward_distribution(repetitions=repetitions)
     attractiveness, _ = sim.attractiveness(repetitions=repetitions)

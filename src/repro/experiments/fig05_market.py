@@ -6,26 +6,38 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..market import MECHANISMS, MarketConfig, MarketSimulator
+from .common import DriverConfig
 
-__all__ = ["run", "format_rows"]
+__all__ = ["Fig05Config", "default_config", "run", "format_rows"]
 
 
-def run(
-    repetitions: int = 20,
-    iterations: int = 100,
-    probe_rounds: int = 4,
-    seed: int = 0,
-) -> dict:
-    """Compute Fig. 5 quantities. Full paper scale: repetitions=100,
-    iterations=500."""
+@dataclass(frozen=True)
+class Fig05Config(DriverConfig):
+    """Full paper scale: repetitions=100, iterations=500."""
+
+    repetitions: int = 20
+    iterations: int = 100
+    probe_rounds: int = 4
+    seed: int = 0
+
+
+def default_config() -> Fig05Config:
+    return Fig05Config()
+
+
+def run(cfg: Fig05Config | None = None, **overrides) -> dict:
+    """Compute Fig. 5 quantities."""
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
     sim = MarketSimulator(
         MarketConfig(
-            repetitions=repetitions,
-            iterations=iterations,
-            fifl_probe_rounds=probe_rounds,
+            repetitions=cfg.repetitions,
+            iterations=cfg.iterations,
+            fifl_probe_rounds=cfg.probe_rounds,
         ),
-        seed=seed,
+        seed=cfg.seed,
     )
     out = sim.simulate_market()
     return {

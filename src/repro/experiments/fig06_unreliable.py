@@ -7,31 +7,44 @@ the baselines pay and aggregate them.
 
 from __future__ import annotations
 
-from ..market import MECHANISMS, MarketConfig, MarketSimulator
+from dataclasses import dataclass
 
-__all__ = ["run", "format_rows"]
+from ..market import MECHANISMS, MarketConfig, MarketSimulator
+from .common import DriverConfig
+
+__all__ = ["Fig06Config", "default_config", "run", "format_rows"]
 
 PAPER_DEGREES = (0.05, 0.15, 0.25, 0.385)
 
 
-def run(
-    attack_degrees: tuple[float, ...] = PAPER_DEGREES,
-    unreliable_fraction: float = 0.385,
-    repetitions: int = 20,
-    probe_rounds: int = 4,
-    detection_rate: float = 1.0,
-    seed: int = 0,
-) -> dict:
+@dataclass(frozen=True)
+class Fig06Config(DriverConfig):
+    attack_degrees: tuple[float, ...] = PAPER_DEGREES
+    unreliable_fraction: float = 0.385
+    repetitions: int = 20
+    probe_rounds: int = 4
+    detection_rate: float = 1.0
+    seed: int = 0
+
+
+def default_config() -> Fig06Config:
+    return Fig06Config()
+
+
+def run(cfg: Fig06Config | None = None, **overrides) -> dict:
     """Revenue of every mechanism relative to FIFL per attack degree."""
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
     sim = MarketSimulator(
-        MarketConfig(repetitions=repetitions, fifl_probe_rounds=probe_rounds),
-        seed=seed,
+        MarketConfig(
+            repetitions=cfg.repetitions, fifl_probe_rounds=cfg.probe_rounds
+        ),
+        seed=cfg.seed,
     )
     rel = sim.unreliable_revenues(
-        attack_degrees=attack_degrees,
-        unreliable_fraction=unreliable_fraction,
-        repetitions=repetitions,
-        detection_rate=detection_rate,
+        attack_degrees=cfg.attack_degrees,
+        unreliable_fraction=cfg.unreliable_fraction,
+        repetitions=cfg.repetitions,
+        detection_rate=cfg.detection_rate,
     )
     # also express "FIFL outperforms X by" as the paper quotes it
     outperform = {

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from .common import FedExpConfig, data_poison, run_federated, sign_flip
 
-__all__ = ["run_intensity_sweep", "run_type_comparison", "format_rows"]
+__all__ = [
+    "default_config",
+    "run",
+    "run_intensity_sweep",
+    "run_type_comparison",
+    "format_rows",
+]
 
 PAPER_INTENSITIES = (0.0, 4.0, 6.0, 8.0, 10.0)
 
@@ -73,22 +79,40 @@ def run_type_comparison(
     return {"curves": curves}
 
 
+def run(cfg: FedExpConfig | None = None, **overrides) -> dict:
+    """Unified driver entry: both panels under one config.
+
+    Returns ``{"intensity": <7(a) result>, "types": <7(b) result>}``.
+    """
+    cfg = cfg if cfg is not None else default_config()
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+    return {
+        "intensity": run_intensity_sweep(cfg),
+        "types": run_type_comparison(cfg),
+    }
+
+
 def _final(series: list) -> float:
     return next(v for v in reversed(series) if v is not None)
 
 
-def format_rows(result_a: dict, result_b: dict) -> list[str]:
+def format_rows(result: dict, result_b: dict | None = None) -> list[str]:
+    """Paper rows from a combined :func:`run` result (or the two legacy
+    per-panel dicts passed separately)."""
+    if result_b is not None:
+        result = {"intensity": result, "types": result_b}
     rows = ["Fig 7(a) final accuracy by sign-flip intensity p_s"]
-    for p_s, series in result_a["curves"].items():
+    for p_s, series in result["intensity"]["curves"].items():
         rows.append(f"  p_s={p_s:>5.1f}  final_acc={_final(series):.3f}")
     rows.append("Fig 7(b) final accuracy by attacker type")
-    for name, series in result_b["curves"].items():
+    for name, series in result["types"]["curves"].items():
         rows.append(f"  {name:>12}  final_acc={_final(series):.3f}")
     return rows
 
 
 def main() -> None:  # pragma: no cover
-    for row in format_rows(run_intensity_sweep(), run_type_comparison()):
+    for row in format_rows(run()):
         print(row)
 
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from .common import FedExpConfig, data_poison, run_federated, sign_flip
 
-__all__ = ["run", "format_rows"]
+__all__ = ["default_config", "run", "format_rows"]
 
 
 def default_config() -> FedExpConfig:

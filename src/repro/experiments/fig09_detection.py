@@ -15,16 +15,25 @@ studies. Sign-flip columns are included to show they are always caught.
 
 from __future__ import annotations
 
-from ..metrics import aggregate_confusion, confusion
-from .common import FedExpConfig, data_poison, run_federated, sign_flip
+from dataclasses import dataclass, field
 
-__all__ = ["run_accuracy_sweep", "run_tradeoff", "format_rows"]
+from ..metrics import aggregate_confusion, confusion
+from .common import FedExpConfig, FigureConfig, data_poison, run_federated, sign_flip
+
+__all__ = [
+    "Fig09Config",
+    "default_config",
+    "run",
+    "run_accuracy_sweep",
+    "run_tradeoff",
+    "format_rows",
+]
 
 DEFAULT_POISON_RATES = (0.3, 0.5, 0.7, 0.9)
 DEFAULT_THRESHOLDS = (0.0, 0.1, 0.2, 0.3)
 
 
-def default_config() -> FedExpConfig:
+def _default_fed() -> FedExpConfig:
     # Small local batches make honest gradients noisy enough that the
     # threshold trade-off is visible (batch 8 of ~150 local samples).
     return FedExpConfig(
@@ -37,6 +46,22 @@ def default_config() -> FedExpConfig:
         batch_size=8,
         server_ranks=(0, 1),
     )
+
+
+@dataclass(frozen=True)
+class Fig09Config(FigureConfig):
+    """Both panels' sweep grids plus the shared federation config."""
+
+    fed: FedExpConfig = field(default_factory=_default_fed)
+    poison_rates: tuple[float, ...] = DEFAULT_POISON_RATES
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS
+    tradeoff_thresholds: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+    tradeoff_poison_rate: float = 0.5
+    num_attackers: int = 2
+
+
+def default_config() -> Fig09Config:
+    return Fig09Config()
 
 
 def _truth_from_history(history, attacker_ids: set[int]) -> list:
@@ -66,7 +91,7 @@ def run_accuracy_sweep(
     num_attackers: int = 2,
 ) -> dict:
     """Fig. 9(a): detection accuracy per (deviation degree, S_y)."""
-    cfg = cfg if cfg is not None else default_config()
+    cfg = cfg if cfg is not None else _default_fed()
     ids = list(range(2, 2 + num_attackers))
     table: dict[float, dict[float, float]] = {}
     for s_y in thresholds:
@@ -90,7 +115,7 @@ def run_tradeoff(
     num_attackers: int = 2,
 ) -> dict:
     """Fig. 9(b): tp_rate (honest accepted) vs tn_rate (attackers rejected)."""
-    cfg = cfg if cfg is not None else default_config()
+    cfg = cfg if cfg is not None else _default_fed()
     ids = list(range(2, 2 + num_attackers))
     attackers = {i: data_poison(p_d) for i in ids}
     tp, tn = {}, {}
@@ -101,7 +126,39 @@ def run_tradeoff(
     return {"tp_rate": tp, "tn_rate": tn}
 
 
-def format_rows(result_a: dict, result_b: dict) -> list[str]:
+def run(cfg: Fig09Config | None = None, **overrides) -> dict:
+    """Unified driver entry: both panels under one config.
+
+    Returns ``{"accuracy": <9(a) result>, "tradeoff": <9(b) result>}``.
+    A bare :class:`FedExpConfig` is accepted and wrapped with the default
+    sweep grids.
+    """
+    cfg = cfg if cfg is not None else default_config()
+    if isinstance(cfg, FedExpConfig):
+        cfg = Fig09Config(fed=cfg)
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+    a = run_accuracy_sweep(
+        cfg.fed,
+        poison_rates=cfg.poison_rates,
+        thresholds=cfg.thresholds,
+        num_attackers=cfg.num_attackers,
+    )
+    b = run_tradeoff(
+        cfg.fed,
+        thresholds=cfg.tradeoff_thresholds,
+        p_d=cfg.tradeoff_poison_rate,
+        num_attackers=cfg.num_attackers,
+    )
+    return {"accuracy": a, "tradeoff": b}
+
+
+def format_rows(result: dict, result_b: dict | None = None) -> list[str]:
+    """Paper rows from a combined :func:`run` result (or the two legacy
+    per-panel dicts passed separately)."""
+    if result_b is not None:
+        result = {"accuracy": result, "tradeoff": result_b}
+    result_a, result_b = result["accuracy"], result["tradeoff"]
     rows = ["Fig 9(a) detection accuracy by deviation degree p_d and S_y"]
     for s_y, by_rate in result_a["accuracy"].items():
         cells = "  ".join(f"p_d={p:.1f}:{acc:.3f}" for p, acc in by_rate.items())
@@ -120,7 +177,7 @@ def format_rows(result_a: dict, result_b: dict) -> list[str]:
 
 
 def main() -> None:  # pragma: no cover
-    for row in format_rows(run_accuracy_sweep(), run_tradeoff()):
+    for row in format_rows(run()):
         print(row)
 
 

@@ -13,29 +13,42 @@ detection, with and without attackers, and we measure
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..core import DetectionConfig, FIFLConfig, FIFLMechanism
+from ..core import make_mechanism
 from ..datasets import dirichlet_partition, make_blobs, train_test_split
 from ..fl import FederatedTrainer, HonestWorker, SignFlippingWorker
 from ..metrics import aggregate_confusion, confusion
 from ..nn import build_logreg
+from .common import DriverConfig
 
-__all__ = ["run", "format_rows"]
+__all__ = ["NonIIDConfig", "default_config", "run", "format_rows"]
 
 _N_FEATURES, _N_CLASSES = 16, 4
 
 
-def run(
-    alphas: tuple[float, ...] = (100.0, 1.0, 0.3, 0.1),
-    num_workers: int = 8,
-    attacker_ids: tuple[int, ...] = (6, 7),
-    p_s: float = 4.0,
-    rounds: int = 15,
-    threshold: float = 0.0,
-    seed: int = 0,
-) -> dict:
+@dataclass(frozen=True)
+class NonIIDConfig(DriverConfig):
+    alphas: tuple[float, ...] = (100.0, 1.0, 0.3, 0.1)
+    num_workers: int = 8
+    attacker_ids: tuple[int, ...] = (6, 7)
+    p_s: float = 4.0
+    rounds: int = 15
+    threshold: float = 0.0
+    seed: int = 0
+
+
+def default_config() -> NonIIDConfig:
+    return NonIIDConfig()
+
+
+def run(cfg: NonIIDConfig | None = None, **overrides) -> dict:
     """Detection quality per Dirichlet skew level."""
+    cfg = (cfg if cfg is not None else default_config()).scaled(**overrides)
+    alphas, num_workers, attacker_ids = cfg.alphas, cfg.num_workers, cfg.attacker_ids
+    p_s, rounds, threshold, seed = cfg.p_s, cfg.rounds, cfg.threshold, cfg.seed
     if not alphas:
         raise ValueError("need at least one alpha")
     out: dict[float, dict[str, float]] = {}
@@ -57,9 +70,7 @@ def run(
                 workers.append(
                     HonestWorker(i, shards[i], model_fn, lr=0.1, seed=seed + 100 + i)
                 )
-        mech = FIFLMechanism(
-            FIFLConfig(detection=DetectionConfig(threshold=threshold), gamma=0.3)
-        )
+        mech = make_mechanism("fifl", threshold=threshold, gamma=0.3)
         trainer = FederatedTrainer(
             model_fn(), workers, [0, 1], test_data=test,
             mechanism=mech, server_lr=0.1, seed=seed,

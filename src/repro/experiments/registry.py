@@ -1,0 +1,143 @@
+"""Declarative figure registry: one :class:`FigureSpec` per experiment.
+
+Every driver module implements the same protocol —
+``default_config() -> Config``, ``run(cfg) -> dict`` and
+``format_rows(result) -> list[str]`` — so running any figure is the same
+three calls. The registry is the single place that knows which figures
+exist, what they reproduce, and how to shrink them for ``--fast`` runs
+(``cfg.scaled(**fast_overrides)`` applied uniformly; no per-figure
+wrapper functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from . import (
+    arch_comm,
+    fault_tolerance,
+    fig04_rewards,
+    fig05_market,
+    fig06_unreliable,
+    fig07_attack_damage,
+    fig08_cifar_damage,
+    fig09_detection,
+    fig10_defense,
+    fig11_reputation,
+    fig12_contribution,
+    fig13_cumulative_rewards,
+    fig14_punishments,
+    noniid,
+)
+
+__all__ = ["FigureSpec", "REGISTRY", "FIGURES"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure: its driver module plus the reduced ``--fast`` scale."""
+
+    fig_id: str
+    module: Any
+    title: str
+    fast_overrides: Mapping[str, Any] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def config(self, fast: bool = False):
+        """The figure's config, optionally scaled down for a fast run."""
+        cfg = self.module.default_config()
+        if fast and self.fast_overrides:
+            cfg = cfg.scaled(**self.fast_overrides)
+        return cfg
+
+    def run(self, fast: bool = False) -> tuple[dict, list[str]]:
+        """Execute the driver; returns ``(result, printable rows)``."""
+        result = self.module.run(self.config(fast))
+        return result, self.module.format_rows(result)
+
+
+def _spec(fig_id, module, title, **fast_overrides) -> FigureSpec:
+    return FigureSpec(
+        fig_id, module, title, MappingProxyType(dict(fast_overrides))
+    )
+
+
+REGISTRY: tuple[FigureSpec, ...] = (
+    _spec(
+        "fig04", fig04_rewards,
+        "reward distribution and attractiveness per quality group",
+        repetitions=5, probe_rounds=3,
+    ),
+    _spec(
+        "fig05", fig05_market,
+        "market attraction and relative system revenue (reliable)",
+        repetitions=5, probe_rounds=3,
+    ),
+    _spec(
+        "fig06", fig06_unreliable,
+        "system revenue under attacks, relative to FIFL",
+        repetitions=5, probe_rounds=3,
+    ),
+    _spec(
+        "fig07", fig07_attack_damage,
+        "attacker damage on the MNIST-like task (no defence)",
+        rounds=10, eval_every=10,
+    ),
+    _spec(
+        "fig08", fig08_cifar_damage,
+        "attacker damage on the CIFAR10-like task (ResNet model)",
+        rounds=10, eval_every=10,
+    ),
+    _spec(
+        "fig09", fig09_detection,
+        "detection threshold S_y: accuracy and the TP/TN trade-off",
+        poison_rates=(0.3, 0.9), thresholds=(0.0, 0.2),
+    ),
+    _spec(
+        "fig10", fig10_defense,
+        "the attack-detection module protects the global model",
+        rounds=12, eval_every=12,
+    ),
+    _spec(
+        "fig11", fig11_reputation,
+        "reputation tracks workers' attack probabilities",
+        rounds=20, eval_every=20,
+    ),
+    _spec(
+        "fig12", fig12_contribution,
+        "contributions separate workers by data quality",
+        rounds=8, eval_every=8,
+    ),
+    _spec(
+        "fig13", fig13_cumulative_rewards,
+        "cumulative rewards/punishments by data quality",
+        rounds=8, eval_every=8,
+    ),
+    _spec(
+        "fig14", fig14_punishments,
+        "punishments grow with sign-flipping attack intensity",
+        rounds=8, eval_every=8,
+    ),
+    # extension experiments (not paper figures)
+    _spec(
+        "ext-comm", arch_comm,
+        "communication load across FL architectures",
+        rounds=2,
+    ),
+    _spec(
+        "ext-fault", fault_tolerance,
+        "node failure and the polycentric recovery story",
+        rounds=10, fail_at=3,
+    ),
+    _spec(
+        "ext-noniid", noniid,
+        "detection under non-iid data",
+        alphas=(100.0, 0.1), rounds=6,
+    ),
+)
+
+#: figure id -> spec, in registry order
+FIGURES: dict[str, FigureSpec] = {spec.fig_id: spec for spec in REGISTRY}

@@ -7,8 +7,15 @@ Usage::
     python -m repro.experiments.runner --all --fast
 
 ``--fast`` runs each driver at a reduced scale (sanity-check speed);
-without it the drivers run at their report-scale defaults. Results are
-written one JSON file per figure plus printed in the paper's row format.
+without it the drivers run at their report-scale defaults. Every figure
+goes through the declarative registry (:mod:`.registry`): the same
+``default_config() / run(cfg) / format_rows(result)`` calls for all of
+them, with ``--fast`` applied as ``cfg.scaled(**spec.fast_overrides)``
+in one place. Results are written one JSON file per figure (result keys
+at the top level plus a ``_meta`` block with elapsed time and the
+round-engine per-phase timings) and printed in the paper's row format.
+``--all`` keeps going when a driver fails, prints a per-figure pass/fail
+summary, and exits non-zero if anything failed.
 """
 
 from __future__ import annotations
@@ -17,100 +24,13 @@ import argparse
 import json
 import sys
 import time
+import traceback
 from pathlib import Path
-from typing import Callable
 
-from . import (
-    arch_comm,
-    fault_tolerance,
-    fig04_rewards,
-    fig05_market,
-    fig06_unreliable,
-    fig07_attack_damage,
-    fig08_cifar_damage,
-    fig09_detection,
-    fig10_defense,
-    fig11_reputation,
-    fig12_contribution,
-    fig13_cumulative_rewards,
-    fig14_punishments,
-    noniid,
-)
+from ..profiling import get_profiler, profile_delta
+from .registry import FIGURES, REGISTRY
 
-__all__ = ["FIGURES", "run_figure", "main"]
-
-
-def _fig07(fast: bool) -> tuple[dict, list[str]]:
-    cfg = None
-    if fast:
-        cfg = fig07_attack_damage.default_config().scaled(rounds=10, eval_every=10)
-    a = fig07_attack_damage.run_intensity_sweep(cfg)
-    b = fig07_attack_damage.run_type_comparison(cfg)
-    return {"intensity": a, "types": b}, fig07_attack_damage.format_rows(a, b)
-
-
-def _fig08(fast: bool) -> tuple[dict, list[str]]:
-    cfg = None
-    if fast:
-        cfg = fig08_cifar_damage.default_config().scaled(rounds=10, eval_every=10)
-    r = fig08_cifar_damage.run(cfg)
-    return r, fig08_cifar_damage.format_rows(r)
-
-
-def _fig09(fast: bool) -> tuple[dict, list[str]]:
-    kw = {"poison_rates": (0.3, 0.9), "thresholds": (0.0, 0.2)} if fast else {}
-    a = fig09_detection.run_accuracy_sweep(**kw)
-    b = fig09_detection.run_tradeoff()
-    return {"accuracy": a, "tradeoff": b}, fig09_detection.format_rows(a, b)
-
-
-def _market(mod, fast: bool) -> tuple[dict, list[str]]:
-    reps = 5 if fast else 20
-    r = mod.run(repetitions=reps, probe_rounds=3 if fast else 4)
-    return r, mod.format_rows(r)
-
-
-def _simple(mod, fast: bool) -> tuple[dict, list[str]]:
-    r = mod.run()
-    return r, mod.format_rows(r)
-
-
-#: figure id -> callable(fast) -> (result dict, printable rows)
-FIGURES: dict[str, Callable[[bool], tuple[dict, list[str]]]] = {
-    "fig04": lambda fast: _market(fig04_rewards, fast),
-    "fig05": lambda fast: _market(fig05_market, fast),
-    "fig06": lambda fast: _market(fig06_unreliable, fast),
-    "fig07": _fig07,
-    "fig08": _fig08,
-    "fig09": _fig09,
-    "fig10": lambda fast: _simple(fig10_defense, fast),
-    "fig11": lambda fast: _simple(fig11_reputation, fast),
-    "fig12": lambda fast: _simple(fig12_contribution, fast),
-    "fig13": lambda fast: _simple(fig13_cumulative_rewards, fast),
-    "fig14": lambda fast: _simple(fig14_punishments, fast),
-    # extension experiments (not paper figures)
-    "ext-comm": lambda fast: _ext_comm(fast),
-    "ext-fault": lambda fast: _ext_fault(fast),
-    "ext-noniid": lambda fast: _ext_noniid(fast),
-}
-
-
-def _ext_comm(fast: bool) -> tuple[dict, list[str]]:
-    r = arch_comm.run(rounds=2 if fast else 5)
-    return r, arch_comm.format_rows(r)
-
-
-def _ext_fault(fast: bool) -> tuple[dict, list[str]]:
-    r = fault_tolerance.run(rounds=10 if fast else 24, fail_at=3 if fast else 5)
-    return r, fault_tolerance.format_rows(r)
-
-
-def _ext_noniid(fast: bool) -> tuple[dict, list[str]]:
-    r = noniid.run(
-        alphas=(100.0, 0.1) if fast else (100.0, 1.0, 0.3, 0.1),
-        rounds=6 if fast else 15,
-    )
-    return r, noniid.format_rows(r)
+__all__ = ["FIGURES", "REGISTRY", "run_figure", "main"]
 
 
 def _jsonable(obj):
@@ -134,11 +54,12 @@ def _jsonable(obj):
 
 def run_figure(fig_id: str, fast: bool = False) -> tuple[dict, list[str]]:
     """Run one figure's driver; returns (result, printable rows)."""
-    if fig_id not in FIGURES:
+    spec = FIGURES.get(fig_id)
+    if spec is None:
         raise ValueError(
             f"unknown figure {fig_id!r}; available: {', '.join(sorted(FIGURES))}"
         )
-    return FIGURES[fig_id](fast)
+    return spec.run(fast)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -155,8 +76,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for fig_id in sorted(FIGURES):
-            print(fig_id)
+        for spec in sorted(REGISTRY, key=lambda s: s.fig_id):
+            print(f"{spec.fig_id:<12} {spec.title}")
         return 0
 
     wanted = sorted(FIGURES) if args.all else [
@@ -164,23 +85,52 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if not wanted:
         parser.error("nothing to run: pass --figures, --all, or --list")
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figures: {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(FIGURES))})"
+        )
 
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    profiler = get_profiler()
+    status: dict[str, str] = {}
     for fig_id in wanted:
+        before = profiler.snapshot()
         t0 = time.time()
-        result, rows = run_figure(fig_id, fast=args.fast)
+        try:
+            result, rows = run_figure(fig_id, fast=args.fast)
+        except Exception:
+            status[fig_id] = "FAIL"
+            print(f"\n=== {fig_id} FAILED ===", file=sys.stderr)
+            traceback.print_exc()
+            continue
         elapsed = time.time() - t0
+        status[fig_id] = "ok"
         print(f"\n=== {fig_id} ({elapsed:.1f}s) ===")
         for row in rows:
             print(row)
         if out_dir is not None:
+            payload = _jsonable(result)
+            payload["_meta"] = {
+                "figure": fig_id,
+                "fast": args.fast,
+                "elapsed_s": elapsed,
+                "profile": profile_delta(before, profiler.snapshot()),
+            }
             path = out_dir / f"{fig_id}.json"
-            path.write_text(json.dumps(_jsonable(result), indent=2))
+            path.write_text(json.dumps(payload, indent=2))
             print(f"[saved {path}]")
-    return 0
+
+    failed = [f for f, s in status.items() if s == "FAIL"]
+    if len(status) > 1 or failed:
+        print("\n--- summary ---")
+        for fig_id in wanted:
+            print(f"{fig_id:<12} {status[fig_id]}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

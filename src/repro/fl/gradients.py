@@ -9,13 +9,28 @@ worker/server pair agrees on slice boundaries given (vector length, M).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-__all__ = ["split_gradient", "recombine", "fedavg", "slice_bounds"]
+__all__ = [
+    "split_gradient",
+    "split_views",
+    "recombine",
+    "fedavg",
+    "slice_bounds",
+    "slice_offsets",
+]
 
 
-def slice_bounds(length: int, num_slices: int) -> list[tuple[int, int]]:
-    """(start, end) index pairs of each slice, matching np.array_split."""
+@lru_cache(maxsize=None)
+def _cached_bounds(length: int, num_slices: int) -> tuple[tuple[int, int], ...]:
+    """Memoized slice boundaries per (vector length, server count).
+
+    Every worker/round re-derives the same boundaries for a fixed
+    topology; caching makes slicing a table lookup plus fancy-indexing
+    instead of per-call arithmetic (the round engine's hot path).
+    """
     if num_slices <= 0:
         raise ValueError("num_slices must be positive")
     if length < 0:
@@ -28,12 +43,21 @@ def slice_bounds(length: int, num_slices: int) -> list[tuple[int, int]]:
         size = base + (1 if j < extra else 0)
         bounds.append((start, start + size))
         start += size
-    return bounds
+    return tuple(bounds)
 
 
-def split_gradient(grad: np.ndarray, num_slices: int) -> list[np.ndarray]:
-    """Split a flat gradient into ``num_slices`` contiguous slices (copies)."""
-    grad = np.asarray(grad, dtype=np.float64)
+def slice_bounds(length: int, num_slices: int) -> list[tuple[int, int]]:
+    """(start, end) index pairs of each slice, matching np.array_split."""
+    return list(_cached_bounds(length, num_slices))
+
+
+def slice_offsets(length: int, num_slices: int) -> np.ndarray:
+    """``(M+1,)`` offsets; slice j spans ``offsets[j]:offsets[j+1]``."""
+    bounds = _cached_bounds(length, num_slices)
+    return np.asarray([0] + [end for _, end in bounds], dtype=np.intp)
+
+
+def _check_splittable(grad: np.ndarray, num_slices: int) -> None:
     if grad.ndim != 1:
         raise ValueError(f"gradient must be flat, got shape {grad.shape}")
     if num_slices <= 0:
@@ -42,7 +66,31 @@ def split_gradient(grad: np.ndarray, num_slices: int) -> list[np.ndarray]:
         raise ValueError(
             f"cannot split {grad.size} values into {num_slices} non-trivial slices"
         )
-    return [s.copy() for s in np.array_split(grad, num_slices)]
+
+
+def split_gradient(grad: np.ndarray, num_slices: int) -> list[np.ndarray]:
+    """Split a flat gradient into ``num_slices`` contiguous slices (copies)."""
+    grad = np.asarray(grad, dtype=np.float64)
+    _check_splittable(grad, num_slices)
+    bounds = _cached_bounds(grad.size, num_slices)
+    return [grad[lo:hi].copy() for lo, hi in bounds]
+
+
+def split_views(grad: np.ndarray, num_slices: int) -> list[np.ndarray]:
+    """Like :func:`split_gradient` but returns read-only views (no copies).
+
+    Safe whenever the slices are consumed without mutation — e.g. the
+    trainer's upload path, where each slice is handed to the network and
+    then only read by servers and the mechanism.
+    """
+    grad = np.asarray(grad, dtype=np.float64)
+    _check_splittable(grad, num_slices)
+    views = []
+    for lo, hi in _cached_bounds(grad.size, num_slices):
+        v = grad[lo:hi]
+        v.flags.writeable = False
+        views.append(v)
+    return views
 
 
 def recombine(slices: list[np.ndarray]) -> np.ndarray:

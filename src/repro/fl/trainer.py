@@ -22,8 +22,9 @@ import numpy as np
 from ..comm import Network, polycentric_topology, validate_roles
 from ..datasets import Dataset
 from ..nn import Sequential
+from ..profiling import get_profiler, profile_delta
 from .evaluation import evaluate
-from .gradients import fedavg, recombine, split_gradient
+from .gradients import fedavg, recombine, split_views
 from .workers import Worker, WorkerUpdate
 
 __all__ = [
@@ -93,6 +94,9 @@ class TrainingHistory:
     """Full training trace returned by :meth:`FederatedTrainer.run`."""
 
     rounds: list[RoundRecord] = field(default_factory=list)
+    # per-phase wall-clock/counters for this run (see repro.profiling):
+    # {"timings": {phase: {"seconds", "calls"}}, "counters": {...}}
+    profile: dict = field(default_factory=dict)
 
     def series(self, key: str) -> list:
         """Extract one telemetry field across rounds (None entries kept)."""
@@ -155,6 +159,7 @@ class FederatedTrainer:
                 "reselect_every needs a mechanism with recommend_servers()"
             )
         self._failed: set[int] = set()
+        self.profiler = get_profiler()
 
     @property
     def num_servers(self) -> int:
@@ -209,10 +214,15 @@ class FederatedTrainer:
     def _upload_slices(
         self, updates: dict[int, WorkerUpdate], round_idx: int
     ) -> tuple[dict[int, dict[int, np.ndarray]], set[int]]:
-        """Workers split gradients and send slice j to server j (step 1.3)."""
+        """Workers split gradients and send slice j to server j (step 1.3).
+
+        Slicing uses the memoized boundary table and read-only views —
+        no per-worker copies; the bytes-on-the-wire accounting of the
+        network substrate is unchanged.
+        """
         tag = f"slice:{round_idx}"
         for wid, upd in updates.items():
-            parts = split_gradient(upd.gradient, self.num_servers)
+            parts = split_views(upd.gradient, self.num_servers)
             for j, srv in enumerate(self.server_ranks):
                 self.network.send(wid, srv, tag, (j, parts[j]))
         delivered: dict[int, dict[int, np.ndarray]] = {}
@@ -234,14 +244,19 @@ class FederatedTrainer:
 
     def run_round(self, round_idx: int) -> RoundRecord:
         """Execute one synchronous round and update the global model."""
+        prof = self.profiler
         theta = self.model.get_flat_params()
         global_buffers = self.model.get_flat_buffers()
-        updates = {
-            w.worker_id: w.compute_update(theta, global_buffers)
-            for w in self.workers
-            if w.worker_id not in self._failed
-        }
-        delivered, uncertain = self._upload_slices(updates, round_idx)
+        with prof.phase("trainer.local_compute"):
+            updates = {
+                w.worker_id: w.compute_update(theta, global_buffers)
+                for w in self.workers
+                if w.worker_id not in self._failed
+            }
+        with prof.phase("trainer.upload"):
+            delivered, uncertain = self._upload_slices(updates, round_idx)
+        prof.count("trainer.rounds")
+        prof.count("trainer.uncertain_workers", len(uncertain))
 
         ctx = RoundContext(
             round_idx=round_idx,
@@ -252,19 +267,21 @@ class FederatedTrainer:
             uncertain=uncertain,
             sample_counts={w.worker_id: w.num_samples for w in self.workers},
         )
-        decision = self.mechanism.process_round(ctx)
+        with prof.phase("trainer.mechanism"):
+            decision = self.mechanism.process_round(ctx)
 
         accepted_ids = [w for w in sorted(delivered) if decision.accept.get(w, False)]
         grad_norm = 0.0
         if accepted_ids:
             # Servers aggregate their slice over accepted workers (step 2.2),
             # then slices recombine into the global gradient (step 1.5).
-            weights = [ctx.sample_counts[w] for w in accepted_ids]
-            agg_slices = []
-            for srv in self.server_ranks:
-                per_server = [delivered[w][srv] for w in accepted_ids]
-                agg_slices.append(fedavg(per_server, weights))
-            global_grad = recombine(agg_slices)
+            with prof.phase("trainer.aggregate"):
+                weights = [ctx.sample_counts[w] for w in accepted_ids]
+                agg_slices = []
+                for srv in self.server_ranks:
+                    per_server = [delivered[w][srv] for w in accepted_ids]
+                    agg_slices.append(fedavg(per_server, weights))
+                global_grad = recombine(agg_slices)
             grad_norm = float(np.linalg.norm(global_grad))
             lr = self._round_lr(round_idx)
             self.model.set_flat_params(theta - lr * global_grad)
@@ -295,7 +312,8 @@ class FederatedTrainer:
 
         test_loss = test_acc = None
         if self.test_data is not None:
-            test_loss, test_acc = evaluate(self.model, self.test_data)
+            with prof.phase("trainer.evaluate"):
+                test_loss, test_acc = evaluate(self.model, self.test_data)
 
         return RoundRecord(
             round_idx=round_idx,
@@ -315,6 +333,7 @@ class FederatedTrainer:
             raise ValueError("eval_every must be positive")
         history = TrainingHistory()
         saved_test = self.test_data
+        before = self.profiler.snapshot()
         for t in range(num_rounds):
             # Skip expensive evaluation on non-reporting rounds.
             self.test_data = saved_test if (t % eval_every == 0 or t == num_rounds - 1) else None
@@ -322,6 +341,9 @@ class FederatedTrainer:
             if self.reselect_every and (t + 1) % self.reselect_every == 0:
                 self._reselect_servers()
         self.test_data = saved_test
+        # Per-run phase timings: the delta against whatever the (shared)
+        # profiler had already accumulated before this run started.
+        history.profile = profile_delta(before, self.profiler.snapshot())
         return history
 
     def _reselect_servers(self) -> None:
