@@ -155,6 +155,9 @@ class FedExpConfig:
     # round-engine selection: "vectorized" (batched kernels) or "scalar"
     # (the reference per-worker loops, kept for differential testing)
     engine: str = "vectorized"
+    # local-training engine: "fleet" (all workers' SGD batched into
+    # stacked kernels) or "scalar" (per-worker reference loop)
+    local_engine: str = "fleet"
 
     def scaled(self, **overrides) -> "FedExpConfig":
         """Copy with overrides (e.g. full-paper scale)."""
@@ -269,6 +272,7 @@ def run_federated(
         server_lr=cfg.server_lr,
         drop_prob=cfg.drop_prob,
         seed=cfg.seed,
+        local_engine=cfg.local_engine,
     )
     # High-intensity attacks legitimately blow the model up (the paper:
     # "loss becomes NaN" at p_s >= 10); silence the float warnings so the

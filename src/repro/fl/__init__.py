@@ -1,6 +1,7 @@
 """Federated-learning substrate: workers, gradients, trainer, evaluation."""
 
 from .evaluation import accuracy, evaluate
+from .fleet_compute import FleetLocalEngine
 from .gradients import fedavg, recombine, slice_bounds, split_gradient
 from .trainer import (
     FederatedTrainer,
@@ -27,6 +28,7 @@ from .workers import (
 __all__ = [
     "accuracy",
     "evaluate",
+    "FleetLocalEngine",
     "fedavg",
     "recombine",
     "slice_bounds",

@@ -1,13 +1,55 @@
-"""Model evaluation helpers shared by the trainer and experiments."""
+"""Model evaluation helpers shared by the trainer and experiments.
+
+Evaluation runs every reporting round over the full test set, so it is a
+hot path in its own right. Two properties keep it lean:
+
+* batches are *contiguous views* into the dataset (no per-batch fancy-
+  index copies — evaluation order doesn't need shuffling);
+* the softmax cross-entropy statistics reuse one preallocated scratch
+  buffer across batches instead of re-allocating probability matrices
+  per batch, and every forward pass goes through
+  ``forward(training=False)`` (eval-mode BatchNorm statistics, no
+  backward caches retained).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from ..datasets import Dataset
-from ..nn import SoftmaxCrossEntropy, Sequential
+from ..nn import Sequential
 
-__all__ = ["evaluate", "accuracy"]
+__all__ = ["evaluate", "accuracy", "batch_views"]
+
+
+def batch_views(data: Dataset, batch_size: int):
+    """Yield ``(x, y)`` contiguous slice views over the dataset in order."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(data), batch_size):
+        stop = start + batch_size
+        yield data.x[start:stop], data.y[start:stop]
+
+
+def _batch_stats(
+    logits: np.ndarray, labels: np.ndarray, scratch: np.ndarray | None
+) -> tuple[float, int, np.ndarray]:
+    """``(summed CE loss, correct count, scratch)`` for one batch.
+
+    ``scratch`` is a reusable ``(batch, classes)`` float64 buffer; the
+    log-softmax shift is computed into it in place, so only the first
+    batch (and a possibly smaller final batch) allocates.
+    """
+    if scratch is None or scratch.shape != logits.shape:
+        scratch = np.empty(logits.shape, dtype=np.float64)
+    np.subtract(logits, logits.max(axis=1, keepdims=True), out=scratch)
+    rows = np.arange(labels.shape[0])
+    shifted_true = scratch[rows, labels].copy()
+    np.exp(scratch, out=scratch)
+    # -log p(y) = logsumexp(shifted) - shifted[y]
+    loss_sum = float((np.log(scratch.sum(axis=1)) - shifted_true).sum())
+    correct = int((logits.argmax(axis=1) == labels).sum())
+    return loss_sum, correct, scratch
 
 
 def evaluate(
@@ -18,13 +60,14 @@ def evaluate(
     Batched so convolutional models with large eval sets stay within
     memory; loss is the sample-weighted mean of batch losses.
     """
-    loss_fn = SoftmaxCrossEntropy()
     total_loss = 0.0
     correct = 0
-    for x, y in data.batches(batch_size):
-        logits = model.predict(x)
-        total_loss += loss_fn(logits, y) * x.shape[0]
-        correct += int((logits.argmax(axis=1) == y).sum())
+    scratch: np.ndarray | None = None
+    for x, y in batch_views(data, batch_size):
+        logits = model.forward(x, training=False)
+        loss_sum, batch_correct, scratch = _batch_stats(logits, y, scratch)
+        total_loss += loss_sum
+        correct += batch_correct
     n = len(data)
     return total_loss / n, correct / n
 
@@ -32,6 +75,6 @@ def evaluate(
 def accuracy(model: Sequential, data: Dataset, batch_size: int = 256) -> float:
     """Classification accuracy only."""
     correct = 0
-    for x, y in data.batches(batch_size):
-        correct += int((model.predict(x).argmax(axis=1) == y).sum())
+    for x, y in batch_views(data, batch_size):
+        correct += int((model.forward(x, training=False).argmax(axis=1) == y).sum())
     return correct / len(data)

@@ -57,9 +57,21 @@ class WorkerUpdate:
 
 
 class Worker:
-    """Base worker: local data, local model replica, honest local training."""
+    """Base worker: local data, local model replica, honest local training.
+
+    The round contract is split in two so the fleet engine can batch the
+    expensive half: :meth:`_local_gradient` (honest local SGD — either run
+    here on the private replica or computed for many workers at once by
+    :class:`~repro.fl.fleet_compute.FleetLocalEngine`) and
+    :meth:`finalize_update` (the worker's upload policy — identity for
+    honest workers, the attack transform for adversaries — always a cheap
+    vector op on the computed gradient). Workers that never train
+    (free-riders) set ``trains_locally = False`` and override
+    :meth:`compute_update` wholesale.
+    """
 
     is_malicious = False  # static ground-truth label for metrics
+    trains_locally = True  # False: skips local SGD entirely (free-riders)
 
     def __init__(
         self,
@@ -128,18 +140,26 @@ class Worker:
         buf = self.model.get_flat_buffers()
         return buf if buf.size else None
 
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
+    ) -> WorkerUpdate:
+        """Turn a computed local gradient into the uploaded update.
+
+        Attackers override this with their transform; any RNG draws they
+        make here come *after* the minibatch-sampling draws of the local
+        training, so the per-worker stream is identical whether the
+        gradient came from the scalar loop or the fleet kernel.
+        """
+        return WorkerUpdate(
+            self.worker_id, grad, self.num_samples, attacked=False, buffers=buffers
+        )
+
     def compute_update(
         self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        """One round of honest local training."""
+        """One round of local training plus the upload transform."""
         grad = self._local_gradient(global_params, global_buffers)
-        return WorkerUpdate(
-            self.worker_id,
-            grad,
-            self.num_samples,
-            attacked=False,
-            buffers=self._buffers_out(),
-        )
+        return self.finalize_update(grad, self._buffers_out())
 
 
 class HonestWorker(Worker):
@@ -157,16 +177,15 @@ class SignFlippingWorker(Worker):
             raise ValueError("attack intensity p_s must be positive")
         self.p_s = p_s
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        grad = self._local_gradient(global_params, global_buffers)
         return WorkerUpdate(
             self.worker_id,
             -self.p_s * grad,
             self.num_samples,
             attacked=True,
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )
 
 
@@ -189,16 +208,15 @@ class DataPoisonWorker(Worker):
     def is_malicious(self) -> bool:  # type: ignore[override]
         return self.p_d > 0.0
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        grad = self._local_gradient(global_params, global_buffers)
         return WorkerUpdate(
             self.worker_id,
             grad,
             self.num_samples,
             attacked=self.p_d > 0.0,
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )
 
 
@@ -206,6 +224,7 @@ class FreeRiderWorker(Worker):
     """Skips training and uploads small random noise shaped like a gradient."""
 
     is_malicious = True
+    trains_locally = False
 
     def __init__(self, *args, noise_scale: float = 1e-3, **kwargs):
         super().__init__(*args, **kwargs)
@@ -240,24 +259,23 @@ class ProbabilisticAttacker(Worker):
         self.p_a = p_a
         self.p_s = p_s
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        grad = self._local_gradient(global_params, global_buffers)
         if self.rng.random() < self.p_a:
             return WorkerUpdate(
                 self.worker_id,
                 -self.p_s * grad,
                 self.num_samples,
                 attacked=True,
-                buffers=self._buffers_out(),
+                buffers=buffers,
             )
         return WorkerUpdate(
             self.worker_id,
             grad,
             self.num_samples,
             attacked=False,
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )
 
 
@@ -277,20 +295,19 @@ class GaussianNoiseAttacker(Worker):
             raise ValueError("scale must be positive")
         self.scale = scale
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        honest = self._local_gradient(global_params, global_buffers)
-        noise = self.rng.normal(size=honest.size)
+        noise = self.rng.normal(size=grad.size)
         norm = np.linalg.norm(noise)
         if norm > 0:
-            noise *= self.scale * np.linalg.norm(honest) / norm
+            noise *= self.scale * np.linalg.norm(grad) / norm
         return WorkerUpdate(
             self.worker_id,
             noise,
             self.num_samples,
             attacked=True,
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )
 
 
@@ -305,6 +322,7 @@ class ReplayFreeRider(Worker):
     """
 
     is_malicious = True
+    trains_locally = False
 
     def __init__(self, *args, server_lr: float = 0.1, **kwargs):
         super().__init__(*args, **kwargs)
@@ -349,16 +367,15 @@ class SampleInflationWorker(Worker):
     def num_samples(self) -> int:  # type: ignore[override]
         return int(self.inflation * len(self.dataset))
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        grad = self._local_gradient(global_params, global_buffers)
         return WorkerUpdate(
             self.worker_id,
             grad,
             self.num_samples,  # the fraudulent claim
             attacked=False,  # the gradient itself is honest
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )
 
 
@@ -392,16 +409,15 @@ class ColludingAttacker(Worker):
             self._direction = d / np.linalg.norm(d)
         return self._direction
 
-    def compute_update(
-        self, global_params: np.ndarray, global_buffers: np.ndarray | None = None
+    def finalize_update(
+        self, grad: np.ndarray, buffers: np.ndarray | None = None
     ) -> WorkerUpdate:
-        honest = self._local_gradient(global_params, global_buffers)
-        direction = self._planted_direction(honest.size)
-        grad = honest + self.epsilon * np.linalg.norm(honest) * direction
+        direction = self._planted_direction(grad.size)
+        planted = grad + self.epsilon * np.linalg.norm(grad) * direction
         return WorkerUpdate(
             self.worker_id,
-            grad,
+            planted,
             self.num_samples,
             attacked=True,
-            buffers=self._buffers_out(),
+            buffers=buffers,
         )

@@ -7,6 +7,11 @@ finite-difference gradient checker.
 """
 
 from . import functional, initializers
+from .fleet import (
+    FleetSequential,
+    FleetSoftmaxCrossEntropy,
+    fleet_signature,
+)
 from .gradcheck import analytic_gradient, max_relative_error, numerical_gradient
 from .layers import (
     AvgPool2d,
@@ -57,6 +62,9 @@ __all__ = [
     "build_mlp",
     "build_lenet",
     "build_mini_resnet",
+    "FleetSequential",
+    "FleetSoftmaxCrossEntropy",
+    "fleet_signature",
     "analytic_gradient",
     "numerical_gradient",
     "max_relative_error",

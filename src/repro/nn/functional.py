@@ -83,6 +83,46 @@ def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
+# Patch-gather index plans, keyed on everything the index layout depends
+# on: (c, h, w, kh, kw, stride, pad) — the batch size does not enter. Every
+# round and every eval batch hits the same handful of shapes, so Conv2d and
+# the pooling layers (which all unfold through im2col) stop recomputing the
+# window geometry on each call. Bounded: a training run touches only a few
+# distinct shapes; the guard keeps pathological shape churn from leaking.
+_IM2COL_PLANS: dict[tuple, np.ndarray] = {}
+_MAX_PLANS = 64
+
+
+def _im2col_plan(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Cached flat gather indices: padded ``(c, hp, wp)`` -> patch rows.
+
+    Returns an ``(oh * ow, c * kh * kw)`` int array; entry ``[o, q]`` is the
+    flat position (within one padded sample) of element ``q`` of receptive
+    field ``o``, with columns in ``(c, kh, kw)`` order.
+    """
+    key = (c, h, w, kh, kw, stride, pad)
+    idx = _IM2COL_PLANS.get(key)
+    if idx is None:
+        oh = conv_out_size(h, kh, stride, pad)
+        ow = conv_out_size(w, kw, stride, pad)
+        hp, wp = h + 2 * pad, w + 2 * pad
+        oy = stride * np.arange(oh, dtype=np.intp)
+        ox = stride * np.arange(ow, dtype=np.intp)
+        ky = np.arange(kh, dtype=np.intp)
+        kx = np.arange(kw, dtype=np.intp)
+        ci = np.arange(c, dtype=np.intp)
+        y = oy[:, None, None, None, None] + ky[None, None, None, :, None]
+        x_ = ox[None, :, None, None, None] + kx[None, None, None, None, :]
+        flat = (ci[None, None, :, None, None] * hp + y) * wp + x_
+        idx = np.ascontiguousarray(flat.reshape(oh * ow, c * kh * kw))
+        if len(_IM2COL_PLANS) >= _MAX_PLANS:
+            _IM2COL_PLANS.clear()
+        _IM2COL_PLANS[key] = idx
+    return idx
+
+
 def im2col(
     x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
 ) -> np.ndarray:
@@ -105,13 +145,9 @@ def im2col(
     ow = conv_out_size(w, kw, stride, pad)
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-    sn, sc, sh, sw = x.strides
-    shape = (n, c, kh, kw, oh, ow)
-    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    # (n, oh, ow, c, kh, kw) -> rows are receptive fields
-    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols)
+    idx = _im2col_plan(c, h, w, kh, kw, stride, pad)
+    flat = np.ascontiguousarray(x).reshape(n, -1)
+    return flat[:, idx].reshape(n * oh * ow, c * kh * kw)
 
 
 def col2im(

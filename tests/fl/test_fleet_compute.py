@@ -1,0 +1,332 @@
+"""Fleet local engine: RNG fidelity, attacker parity, fallbacks, e2e differential.
+
+The engine's contract (see ``repro.fl.fleet_compute``) is that switching
+``local_engine`` between "fleet" and "scalar" is *observationally
+invisible*: identical minibatch draws, identical uploads for every
+worker type (honest, every attacker, free-riders), identical training
+histories. These tests pin each clause.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import iid_partition, make_blobs, train_test_split
+from repro.experiments.common import (
+    FedExpConfig,
+    data_poison,
+    probabilistic,
+    run_federated,
+    sign_flip,
+)
+from repro.fl import (
+    ColludingAttacker,
+    DataPoisonWorker,
+    FederatedTrainer,
+    FleetLocalEngine,
+    FreeRiderWorker,
+    GaussianNoiseAttacker,
+    HonestWorker,
+    ProbabilisticAttacker,
+    ReplayFreeRider,
+    RoundDecision,
+    SampleInflationWorker,
+    SignFlippingWorker,
+)
+from repro.nn import SGD, Dense, Dropout, ReLU, Sequential, build_logreg, build_mlp
+
+from tests.helpers import N_CLASSES, N_FEATURES, make_federation
+
+TOL = 1e-8
+
+
+def _theta(seed=0):
+    return build_logreg(N_FEATURES, N_CLASSES, seed=seed).get_flat_params()
+
+
+class TestRNGFidelity:
+    def test_minibatch_indices_reproduce_worker_streams(self):
+        """Fleet sampling must be byte-identical to each worker's own
+        ``default_rng(seed)`` stream — draw for draw, across rounds."""
+        local_iters, rounds = 3, 2
+        workers, _, _ = make_federation(num_workers=4, seed=5, local_iters=local_iters)
+        engine = FleetLocalEngine(workers)
+        theta = _theta(5)
+        per_round: list[dict] = []
+        for _ in range(rounds):
+            engine.compute_updates(theta)
+            per_round.append(dict(engine.last_indices))
+        for i, w in enumerate(workers):
+            ref = np.random.default_rng(5 + 100 + i)  # the seed make_federation used
+            b = min(w.batch_size, len(w.dataset))
+            for r in range(rounds):
+                got = per_round[r][w.worker_id]
+                assert len(got) == local_iters
+                for idx in got:
+                    want = ref.integers(0, len(w.dataset), size=b)
+                    assert idx.tobytes() == want.tobytes()
+                    assert idx.dtype == want.dtype
+
+    def test_scalar_and_fleet_workers_end_with_same_rng_state(self):
+        """After a round, both paths leave the worker RNG at the same point,
+        so downstream draws (attacker coin flips next round) line up."""
+        theta = _theta(3)
+        scalar_w = make_federation(num_workers=3, seed=3)[0]
+        fleet_w = make_federation(num_workers=3, seed=3)[0]
+        for w in scalar_w:
+            w.compute_update(theta)
+        FleetLocalEngine(fleet_w).compute_updates(theta)
+        for a, b in zip(scalar_w, fleet_w):
+            assert a.rng.integers(0, 1 << 30) == b.rng.integers(0, 1 << 30)
+
+
+def _attacker_zoo(seed=0):
+    """One worker of every type over shared blob shards."""
+    data = make_blobs(n_samples=450, n_features=N_FEATURES, num_classes=N_CLASSES, seed=seed)
+    shards = iid_partition(data, 9, seed=seed)
+
+    def mf():
+        return build_logreg(N_FEATURES, N_CLASSES, seed=seed)
+
+    specs = [
+        (HonestWorker, {}),
+        (SignFlippingWorker, {"p_s": 4.0}),
+        (DataPoisonWorker, {"p_d": 0.6, "poison_seed": 7}),
+        (ProbabilisticAttacker, {"p_a": 0.5, "p_s": 4.0}),
+        (GaussianNoiseAttacker, {"scale": 1.0}),
+        (SampleInflationWorker, {"inflation": 5.0}),
+        (ColludingAttacker, {"epsilon": 0.3}),
+        (FreeRiderWorker, {}),
+        (ReplayFreeRider, {"server_lr": 0.1}),
+    ]
+    return [
+        cls(i, shards[i], mf, lr=0.1, batch_size=16, local_iters=2,
+            seed=seed + 10 + i, **kw)
+        for i, (cls, kw) in enumerate(specs)
+    ]
+
+
+class TestAttackerParity:
+    def test_every_worker_type_uploads_identically(self):
+        theta = _theta(1)
+        scalar_updates = {
+            w.worker_id: w.compute_update(theta, None) for w in _attacker_zoo(1)
+        }
+        engine = FleetLocalEngine(_attacker_zoo(1))
+        fleet_updates = engine.compute_updates(theta, None)
+
+        assert list(fleet_updates) == sorted(scalar_updates)  # id-ordered dict
+        for wid, want in scalar_updates.items():
+            got = fleet_updates[wid]
+            assert np.abs(got.gradient - want.gradient).max() <= TOL
+            assert got.num_samples == want.num_samples
+            assert got.attacked == want.attacked
+
+    def test_multi_round_parity(self):
+        """Stateful attackers (probabilistic coin flips, replay free-rider)
+        stay in lockstep across several rounds."""
+        rounds = 3
+        theta = _theta(2)
+        scalar_zoo, fleet_zoo = _attacker_zoo(2), _attacker_zoo(2)
+        engine = FleetLocalEngine(fleet_zoo)
+        for _ in range(rounds):
+            scalar_updates = {w.worker_id: w.compute_update(theta) for w in scalar_zoo}
+            fleet_updates = engine.compute_updates(theta)
+            for wid, want in scalar_updates.items():
+                assert np.abs(fleet_updates[wid].gradient - want.gradient).max() <= TOL
+            theta = theta - 0.05 * np.mean(
+                [u.gradient for u in scalar_updates.values()], axis=0
+            )
+
+
+class TestFallbacks:
+    def test_custom_optimizer_goes_scalar(self):
+        workers, _, _ = make_federation(
+            num_workers=3, worker_kwargs={"optimizer": SGD(lr=0.1, momentum=0.9)}
+        )
+        engine = FleetLocalEngine(workers)
+        updates = engine.compute_updates(_theta())
+        assert engine._groups == [] and len(engine._scalar) == 3
+        assert sorted(updates) == [0, 1, 2]
+
+    def test_dropout_model_goes_scalar(self):
+        data = make_blobs(n_samples=90, n_features=N_FEATURES, num_classes=N_CLASSES, seed=0)
+        shards = iid_partition(data, 2, seed=0)
+
+        def mf():
+            rng = np.random.default_rng(0)
+            return Sequential(
+                [Dense(N_FEATURES, 8, rng), ReLU(), Dropout(0.5, rng),
+                 Dense(8, N_CLASSES, rng)]
+            )
+
+        workers = [HonestWorker(i, shards[i], mf, seed=i) for i in range(2)]
+        engine = FleetLocalEngine(workers)
+        engine.compute_updates(workers[0].model.get_flat_params())
+        assert engine._groups == [] and len(engine._scalar) == 2
+
+    def test_free_riders_go_scalar(self):
+        engine = FleetLocalEngine(_attacker_zoo(0))
+        engine.compute_updates(_theta())
+        scalar_ids = {w.worker_id for w in engine._scalar}
+        assert scalar_ids == {7, 8}  # FreeRider + ReplayFreeRider slots
+        assert sum(len(g.workers) for g in engine._groups) == 7
+
+    def test_heterogeneous_architectures_split_groups(self):
+        data = make_blobs(n_samples=120, n_features=N_FEATURES, num_classes=N_CLASSES, seed=0)
+        shards = iid_partition(data, 4, seed=0)
+
+        # Same parameter count (so one global theta fits both), different
+        # signatures (ReLU vs Tanh) — must land in separate fleet groups.
+        def relu_mlp():
+            rng = np.random.default_rng(0)
+            return Sequential(
+                [Dense(N_FEATURES, 7, rng), ReLU(), Dense(7, N_CLASSES, rng)]
+            )
+
+        def tanh_mlp():
+            from repro.nn import Tanh
+
+            rng = np.random.default_rng(0)
+            return Sequential(
+                [Dense(N_FEATURES, 7, rng), Tanh(), Dense(7, N_CLASSES, rng)]
+            )
+
+        workers = [
+            HonestWorker(i, shards[i], relu_mlp if i < 2 else tanh_mlp, seed=i)
+            for i in range(4)
+        ]
+        engine = FleetLocalEngine(workers)
+        updates = engine.compute_updates(relu_mlp().get_flat_params())
+        assert len(engine._groups) == 2
+        assert sorted(len(g.workers) for g in engine._groups) == [2, 2]
+        assert sorted(updates) == [0, 1, 2, 3]
+
+    def test_exclude_drops_workers_and_caches_grouping(self):
+        workers, _, _ = make_federation(num_workers=4)
+        engine = FleetLocalEngine(workers)
+        updates = engine.compute_updates(_theta(), exclude={1})
+        assert sorted(updates) == [0, 2, 3]
+        assert engine._grouped_for == frozenset({1})
+        groups_before = engine._groups
+        engine.compute_updates(_theta(), exclude={1})
+        assert engine._groups is groups_before  # no rebuild for the same set
+
+
+class _BoomMechanism:
+    """Accept-all mechanism that explodes on the second round."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def process_round(self, ctx):
+        self.calls += 1
+        if self.calls >= 2:
+            raise RuntimeError("boom")
+        return RoundDecision(accept={w: True for w in ctx.slices})
+
+
+class TestTrainerIntegration:
+    def test_run_restores_test_data_on_exception(self):
+        workers, _, test = make_federation(num_workers=3)
+        trainer = FederatedTrainer(
+            build_logreg(N_FEATURES, N_CLASSES, seed=0), workers, [0],
+            test_data=test, mechanism=_BoomMechanism(),
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            # eval_every=5: round 1 runs with test_data toggled to None,
+            # which is exactly when the mechanism raises.
+            trainer.run(5, eval_every=5)
+        assert trainer.test_data is test
+
+    def test_rejects_unknown_local_engine(self):
+        workers, _, test = make_federation(num_workers=2)
+        with pytest.raises(ValueError):
+            FederatedTrainer(
+                build_logreg(N_FEATURES, N_CLASSES, seed=0), workers, [0],
+                test_data=test, local_engine="warp",
+            )
+
+    def test_failed_node_excluded_from_fleet(self):
+        workers, _, test = make_federation(num_workers=4)
+        trainer = FederatedTrainer(
+            build_logreg(N_FEATURES, N_CLASSES, seed=0), workers, [0],
+            test_data=test, local_engine="fleet",
+        )
+        trainer.fail_node(2)
+        rec = trainer.run_round(0)
+        assert 2 not in rec.accepted
+
+
+#: scaled-down stand-ins for the fig07 / fig09 / fig11 federations
+_E2E_CASES = {
+    "fig07_attack_damage": (
+        dict(rounds=4, eval_every=2),
+        {2: sign_flip(2.0), 3: data_poison(0.6)},
+        False,
+    ),
+    "fig09_detection": (
+        dict(rounds=4, eval_every=2, batch_size=8),
+        {3: sign_flip(4.0), 4: data_poison(0.8), 5: probabilistic(0.5)},
+        True,
+    ),
+    "fig11_reputation": (
+        dict(rounds=4, eval_every=2),
+        {4: probabilistic(0.8, 4.0), 5: probabilistic(0.2, 4.0)},
+        True,
+    ),
+}
+
+
+class TestEndToEndDifferential:
+    @pytest.mark.parametrize("name", sorted(_E2E_CASES))
+    def test_histories_match(self, name):
+        fed_kwargs, attackers, with_fifl = _E2E_CASES[name]
+        histories = {}
+        for engine in ("scalar", "fleet"):
+            cfg = FedExpConfig(
+                dataset="blobs",
+                num_workers=6,
+                samples_per_worker=40,
+                test_samples=80,
+                local_iters=1,
+                server_ranks=(0, 1),
+                local_engine=engine,
+                **fed_kwargs,
+            )
+            histories[engine], _ = run_federated(cfg, attackers, with_fifl=with_fifl)
+        scalar, fleet = histories["scalar"], histories["fleet"]
+        assert len(scalar.rounds) == len(fleet.rounds)
+        for rs, rf in zip(scalar.rounds, fleet.rounds):
+            assert rs.accepted == rf.accepted
+            assert rs.uncertain == rf.uncertain
+            assert abs(rs.grad_norm - rf.grad_norm) <= TOL
+            if rs.test_loss is not None:
+                assert abs(rs.test_loss - rf.test_loss) <= TOL
+                assert abs(rs.test_acc - rf.test_acc) <= TOL
+
+    @pytest.mark.slow
+    def test_histories_match_image_models(self):
+        """LeNet (Conv/pool) and mini-ResNet (BatchNorm/Residual) paths."""
+        for dataset in ("mnist", "cifar10"):
+            histories = {}
+            for engine in ("scalar", "fleet"):
+                cfg = FedExpConfig(
+                    dataset=dataset,
+                    num_workers=4,
+                    samples_per_worker=24,
+                    test_samples=40,
+                    image_size=14 if dataset == "mnist" else 8,
+                    rounds=2,
+                    eval_every=1,
+                    batch_size=8,
+                    server_ranks=(0, 1),
+                    local_engine=engine,
+                )
+                histories[engine], _ = run_federated(
+                    cfg, {3: sign_flip(2.0)}, with_fifl=True
+                )
+            for rs, rf in zip(histories["scalar"].rounds, histories["fleet"].rounds):
+                assert rs.accepted == rf.accepted
+                assert abs(rs.grad_norm - rf.grad_norm) <= TOL
+                if rs.test_loss is not None:
+                    assert abs(rs.test_loss - rf.test_loss) <= TOL

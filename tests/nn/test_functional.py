@@ -132,3 +132,34 @@ class TestIm2Col:
         cols = F.im2col(x, k, k, stride, pad)
         assert cols.shape == (n * oh * oh, c * k * k)
         np.testing.assert_allclose(cols, _naive_im2col(x, k, k, stride, pad))
+
+
+class TestIm2ColPlanCache:
+    def test_plan_is_reused_for_same_geometry(self):
+        F._IM2COL_PLANS.clear()
+        first = F._im2col_plan(3, 8, 8, 3, 3, 1, 1)
+        second = F._im2col_plan(3, 8, 8, 3, 3, 1, 1)
+        assert first is second  # cached object, not a rebuild
+        assert len(F._IM2COL_PLANS) == 1
+
+    def test_plan_is_batch_size_independent(self):
+        F._IM2COL_PLANS.clear()
+        rng = np.random.default_rng(5)
+        F.im2col(rng.normal(size=(2, 2, 6, 6)), 3, 3, 1, 1)
+        F.im2col(rng.normal(size=(7, 2, 6, 6)), 3, 3, 1, 1)
+        assert len(F._IM2COL_PLANS) == 1  # one plan serves every batch size
+
+    def test_cache_is_bounded(self):
+        F._IM2COL_PLANS.clear()
+        for i in range(F._MAX_PLANS + 3):
+            F._im2col_plan(1, 8 + i, 8 + i, 3, 3, 1, 0)
+        assert len(F._IM2COL_PLANS) <= F._MAX_PLANS
+
+    def test_cached_results_stay_correct(self):
+        F._IM2COL_PLANS.clear()
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3, 7, 7))
+        for _ in range(2):  # second call hits the cache
+            np.testing.assert_allclose(
+                F.im2col(x, 3, 3, 2, 1), _naive_im2col(x, 3, 3, 2, 1)
+            )
