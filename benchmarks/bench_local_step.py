@@ -9,13 +9,17 @@ kernels, see ``repro.nn.fleet``) and once with ``local_engine="scalar"``
 the profiling module plus the speedup.
 
 Also reports the evaluation throughput of ``repro.fl.evaluation`` (the
-preallocated-scratch batched evaluator) in samples/second.
+preallocated-scratch batched evaluator) in samples/second, and the
+always-on telemetry overhead (default in-memory sink vs disabled hub)
+over whole federated rounds; the run's result doubles as a telemetry
+run manifest emitted through the active sinks.
 
 CLI (no pytest needed)::
 
     python benchmarks/bench_local_step.py            # N in {16, 64}
     python benchmarks/bench_local_step.py --quick    # smoke scale + diff check
     python benchmarks/bench_local_step.py --json out.json
+    python benchmarks/bench_local_step.py --record   # benchmarks/BENCH_local_step.json
 
 ``--quick`` additionally verifies the fleet/scalar differential contract
 (agreement to <= 1e-8 over full training histories) and exits non-zero
@@ -29,7 +33,6 @@ configuration runs as a regression guard: the fleet engine must deliver
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -45,6 +48,7 @@ from repro.datasets import iid_partition, make_blobs, train_test_split
 from repro.fl import FederatedTrainer, HonestWorker, SignFlippingWorker, evaluate
 from repro.nn import build_mlp
 from repro.profiling import Profiler
+from repro.telemetry import Telemetry, run_manifest, write_manifest
 
 #: the phase whose fleet-batching the tentpole targets
 LOCAL_PHASE = "trainer.local_compute"
@@ -66,13 +70,19 @@ DIFF_TOL = 1e-8
 
 
 def make_trainer(
-    num_workers: int, engine: str, seed: int = 0, n_attackers: int = 2
+    num_workers: int,
+    engine: str,
+    seed: int = 0,
+    n_attackers: int = 2,
+    telemetry: Telemetry | None = None,
 ) -> FederatedTrainer:
     """Fig09-style MLP federation: blobs data, mostly honest workers.
 
     The last ``n_attackers`` ranks are sign-flippers so the benchmark
     exercises the post-hoc ``finalize_update`` path, not just the honest
-    fast path.
+    fast path. ``telemetry`` overrides the per-run hub — the overhead
+    check passes a disabled hub here to time rounds with
+    instrumentation off.
     """
     total = num_workers * SAMPLES_PER_WORKER + 400
     data = make_blobs(
@@ -109,7 +119,8 @@ def make_trainer(
         seed=seed,
         local_engine=engine,
     )
-    trainer.profiler = Profiler()  # isolate timings from the global profiler
+    # isolate timings from the global profiler
+    trainer.profiler = telemetry if telemetry is not None else Profiler()
     return trainer
 
 
@@ -185,6 +196,53 @@ def eval_throughput(n_samples: int = 4096, repeats: int = 5, seed: int = 0) -> d
     }
 
 
+def telemetry_overhead(
+    num_workers: int, rounds: int, seed: int = 0, samples: int = 120
+) -> dict:
+    """Wall-clock per federated round: in-memory sink vs telemetry disabled.
+
+    Same protocol as ``bench_engine.telemetry_overhead``: two identical
+    fleet-engine federations (one enabled hub, one disabled), strictly
+    alternating individually timed ``run_round`` calls so both sides
+    sample the same scheduler/cache conditions, compared on the average
+    of the k fastest rounds — timing noise is one-sided additive, so the
+    low tail estimates the true per-round cost. Telemetry defers event
+    materialization to flush boundaries; the periodic ``flush()`` calls
+    between timed rounds charge that deferred work outside the timed
+    regions. ``enabled_s``/``disabled_s`` are scaled to ``rounds``
+    rounds to match the engine timings above.
+    """
+    hubs = {"on": Telemetry(), "off": Telemetry(enabled=False)}
+    trainers = {
+        key: make_trainer(num_workers, "fleet", seed=seed, telemetry=hub)
+        for key, hub in hubs.items()
+    }
+    times: dict[str, list[float]] = {"on": [], "off": []}
+    for i in range(samples + 5):
+        order = ("on", "off") if i % 2 else ("off", "on")
+        for key in order:
+            trainer = trainers[key]
+            t0 = time.perf_counter()
+            trainer.run_round(i)
+            times[key].append(time.perf_counter() - t0)
+        if i % 25 == 0:
+            for hub in hubs.values():
+                hub.flush()
+
+    def floor(vals: list[float], k: int = 10) -> float:
+        # drop warm-up samples, then average the k fastest
+        return sum(sorted(vals[5:])[:k]) / k
+
+    enabled = floor(times["on"]) * rounds
+    disabled = floor(times["off"]) * rounds
+    return {
+        "num_workers": num_workers,
+        "enabled_s": enabled,
+        "disabled_s": disabled,
+        "overhead_pct": 100.0 * (enabled - disabled) / max(disabled, 1e-12),
+    }
+
+
 def run_benchmark(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     rounds: int = DEFAULT_ROUNDS,
@@ -210,6 +268,7 @@ def run_benchmark(
         "rounds": rounds,
         "by_size": by_size,
         "evaluation": eval_throughput(seed=seed),
+        "telemetry_overhead": telemetry_overhead(max(sizes), rounds, seed),
     }
 
 
@@ -238,6 +297,13 @@ def format_report(result: dict) -> list[str]:
         f"evaluation throughput: {ev['samples_per_s']:,.0f} samples/s "
         f"({ev['samples']} samples x {ev['repeats']} passes in {ev['seconds']:.4f}s)"
     )
+    ov = result.get("telemetry_overhead")
+    if ov:
+        rows.append(
+            f"telemetry overhead at N={ov['num_workers']} (in-memory sink vs "
+            f"disabled): on={ov['enabled_s']:.4f}s off={ov['disabled_s']:.4f}s "
+            f"({ov['overhead_pct']:+.1f}%)"
+        )
     return rows
 
 
@@ -265,6 +331,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--json", default="", help="write the result as JSON")
+    parser.add_argument(
+        "--record", action="store_true",
+        help="save the result to benchmarks/BENCH_local_step.json",
+    )
     args = parser.parse_args(argv)
 
     sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip()) or DEFAULT_SIZES
@@ -280,9 +350,22 @@ def main(argv: list[str] | None = None) -> int:
     result = run_benchmark(sizes=sizes, rounds=rounds)
     for row in format_report(result):
         print(row)
-    if args.json:
-        Path(args.json).write_text(json.dumps(result, indent=2))
-        print(f"[saved {args.json}]")
+    # The result is also a run manifest: emitting it routes the record
+    # through whatever telemetry sinks are active (memory/JSONL/console).
+    run_manifest(
+        "bench_local_step",
+        config={
+            "sizes": list(sizes), "rounds": rounds, "seed": 0,
+            "quick": args.quick,
+        },
+        results=result,
+    )
+    paths = [Path(p) for p in (args.json,) if p]
+    if args.record:
+        paths.append(Path(__file__).resolve().parent / "BENCH_local_step.json")
+    for path in paths:
+        write_manifest(path, result)
+        print(f"[saved {path}]")
     return 0
 
 

@@ -6,7 +6,14 @@ trainer, and prints what the mechanism decided: who was detected, every
 worker's reputation, and the cumulative rewards/punishments.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to also stream the full
+telemetry trace (spans, mechanism metrics, per-round events) to a JSONL
+file; render it afterwards with
+``python -m repro.telemetry summarize trace.jsonl``.
 """
+
+import os
 
 import numpy as np
 
@@ -14,6 +21,11 @@ from repro.core import make_mechanism
 from repro.datasets import iid_partition, make_blobs, train_test_split
 from repro.fl import FederatedTrainer, HonestWorker, SignFlippingWorker
 from repro.nn import build_logreg
+from repro.telemetry import JsonlSink, MemorySink, Telemetry, set_telemetry
+
+trace_path = os.environ.get("REPRO_TRACE")
+if trace_path:
+    set_telemetry(Telemetry(sinks=[MemorySink(), JsonlSink(trace_path)]))
 
 N_FEATURES, N_CLASSES, N_WORKERS = 16, 4, 6
 
@@ -74,3 +86,10 @@ for wid, reward in sorted(mechanism.cumulative_rewards().items()):
 attacker_reward = mechanism.cumulative_rewards()[N_WORKERS - 1]
 assert attacker_reward < 0, "the attacker should have been punished"
 print("\nOK: attacker detected, excluded from aggregation, and punished.")
+
+if trace_path:
+    from repro.telemetry import get_telemetry
+
+    get_telemetry().close()
+    print(f"\n[trace written to {trace_path}; render it with"
+          f" `python -m repro.telemetry summarize {trace_path}`]")

@@ -25,7 +25,12 @@ Two interchangeable engines implement the pipeline (``FIFLConfig.engine``):
   for differential testing; both engines agree to < 1e-8 on every
   per-round output (see ``tests/core/test_engine.py``).
 
-Phase wall-clock lands in :mod:`repro.profiling` under ``fifl.*`` keys.
+Phase wall-clock lands in :mod:`repro.telemetry` spans under ``fifl.*``
+keys (the legacy :mod:`repro.profiling` snapshot still sees them). Each
+round additionally emits one ``fifl.round`` trace event — flagged
+workers, detection margins against ``S_y``, reputation deltas, rewards,
+and the reward-fairness gauges (Gini, normalized share entropy) — so a
+JSONL trace reconstructs every decision the mechanism made.
 
 Every round's intermediate results can be committed to a blockchain ledger
 (S4.5) for the audit protocol.
@@ -39,6 +44,7 @@ import numpy as np
 
 from ..fl.gradients import fedavg, recombine, slice_offsets, split_gradient
 from ..fl.trainer import RoundContext, RoundDecision
+from ..metrics.fairness import reward_fairness
 from ..profiling import Profiler, get_profiler
 from .contribution import (
     contributions,
@@ -148,6 +154,16 @@ class FIFLMechanism:
         self.profiler = profiler if profiler is not None else get_profiler()
         self.records: list[FIFLRoundRecord] = []
         self._cumulative_rewards: dict[int, float] = {}
+        # previous round's reputation vector, for per-round delta telemetry
+        self._prev_rep_ids: tuple = ()
+        self._prev_rep_vals = np.zeros(0)
+        # detection margins (score - S_y) live on the cosine scale; the
+        # reputation delta per round is bounded by the decay factor
+        self.profiler.register_histogram(
+            "fifl.detect_margin",
+            (-4.0, -2.0, -1.0, -0.5, -0.2, -0.1, -0.05, 0.0,
+             0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0),
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -436,14 +452,18 @@ class FIFLMechanism:
                 share_vec = reward_shares_array(
                     rep_vec, contrib_vec, punish_mode=cfg.punish_mode
                 )
+                reward_vec = share_vec * cfg.budget_per_round
                 shares = batch.to_dict(share_vec)
-                rewards = batch.to_dict(share_vec * cfg.budget_per_round)
+                rewards = batch.to_dict(reward_vec)
             else:
+                reward_vec = None
                 shares, rewards = {}, {}
 
         return self._finalize(
             ctx, scores, accepted, outcomes, reputations, distances, b_h,
             contribs, shares, rewards,
+            score_vec=score_vec if batch is not None else None,
+            reward_vec=reward_vec,
         )
 
     def _finalize(
@@ -458,10 +478,36 @@ class FIFLMechanism:
         contribs: dict[int, float],
         shares: dict[int, float],
         rewards: dict[int, float],
+        score_vec: np.ndarray | None = None,
+        reward_vec: np.ndarray | None = None,
     ) -> RoundDecision:
-        """Shared bookkeeping: cumulative rewards, records, ledger, verdict."""
+        """Shared bookkeeping: cumulative rewards, records, ledger, verdict.
+
+        Also the mechanism's telemetry choke point: both engines funnel
+        their per-round outputs through here, so flagged workers,
+        detection margins, reputation deltas and the reward-fairness
+        gauges are emitted once, identically, regardless of engine. The
+        vectorized engine passes its score/reward vectors (aligned with
+        the dicts' key order) so telemetry skips rebuilding them; the
+        scalar engine leaves them ``None``.
+        """
         for w, amount in rewards.items():
             self._cumulative_rewards[w] = self._cumulative_rewards.get(w, 0.0) + amount
+
+        prof = self.profiler
+        if prof.enabled:
+            # Per-round mechanism telemetry (flagged workers, detection
+            # margins, reputation deltas, reward fairness) involves a
+            # sort and several reductions — deferred off the hot path.
+            # All referenced dicts/vectors are freshly built this round
+            # and never mutated afterwards, so the thunk sees exactly
+            # the state it captured.
+            prof.defer(
+                self._round_telemetry,
+                (ctx.round_idx, ctx.uncertain, scores, accepted,
+                 reputations, rewards, score_vec, reward_vec),
+                4,
+            )
 
         record = FIFLRoundRecord(
             round_idx=ctx.round_idx,
@@ -501,6 +547,84 @@ class FIFLMechanism:
                 "rewards": rewards,
             },
         )
+
+    def _round_telemetry(
+        self,
+        tele,
+        round_idx: int,
+        uncertain,
+        scores: dict[int, float],
+        accepted: dict[int, bool],
+        reputations: dict[int, float],
+        rewards: dict[int, float],
+        score_vec: np.ndarray | None,
+        reward_vec: np.ndarray | None,
+    ) -> list[dict]:
+        """Deferred emitter for one round's mechanism telemetry.
+
+        Runs at the hub's next flush boundary (see ``Telemetry.defer``),
+        in emission order, and returns the three fairness/flagging gauge
+        events plus the ``fifl.round`` record. The previous-reputation
+        state advances here, which is safe exactly because flushes
+        preserve round order.
+        """
+        threshold = self.config.detection.threshold
+        flagged = [w for w, ok in accepted.items() if not ok]
+        flagged.sort()
+        if score_vec is None:
+            score_vec = np.fromiter(scores.values(), np.float64, len(scores))
+        margins = score_vec - threshold
+        # Reputation deltas against last round's vector; the worker set
+        # is stable between failures, so the common case is one array
+        # subtraction (the dict rebuild only runs on reshapes).
+        ids = tuple(reputations)
+        rep_vals = np.fromiter(reputations.values(), np.float64, len(ids))
+        if ids == self._prev_rep_ids:
+            rep_delta = rep_vals - self._prev_rep_vals
+        else:
+            prev = dict(zip(self._prev_rep_ids, self._prev_rep_vals))
+            init = self.config.initial_reputation
+            rep_delta = rep_vals - np.fromiter(
+                (prev.get(w, init) for w in ids), np.float64, len(ids)
+            )
+        self._prev_rep_ids = ids
+        self._prev_rep_vals = rep_vals
+        if reward_vec is None:
+            reward_vec = np.fromiter(rewards.values(), np.float64, len(rewards))
+        positive = np.maximum(reward_vec, 0.0)
+        reward_gini, reward_entropy = reward_fairness(positive, validate=False)
+        if margins.size:
+            tele.observe_many("fifl.detect_margin", margins)
+        gauges = (
+            ("fifl.flagged_workers", float(len(flagged))),
+            ("fifl.reward_gini", reward_gini),
+            ("fifl.share_entropy", reward_entropy),
+        )
+        tele._gauges.update(gauges)
+        events = [
+            {"type": "metric", "kind": "gauge", "name": name, "value": value}
+            for name, value in gauges
+        ]
+        events.append(
+            {
+                "type": "fifl.round",
+                "data": {
+                    "round": round_idx,
+                    "flagged": flagged,
+                    "accepted": len(accepted) - len(flagged),
+                    "uncertain": sorted(int(w) for w in uncertain),
+                    "threshold": threshold,
+                    "scores": scores,
+                    "margin_min": float(margins.min()) if margins.size else None,
+                    "margin_max": float(margins.max()) if margins.size else None,
+                    "reputation_delta": {"workers": ids, "delta": rep_delta},
+                    "rewards": rewards,
+                    "reward_gini": reward_gini,
+                    "share_entropy": reward_entropy,
+                },
+            }
+        )
+        return events
 
     # -- queries -----------------------------------------------------------------
 

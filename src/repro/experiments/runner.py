@@ -12,8 +12,10 @@ goes through the declarative registry (:mod:`.registry`): the same
 ``default_config() / run(cfg) / format_rows(result)`` calls for all of
 them, with ``--fast`` applied as ``cfg.scaled(**spec.fast_overrides)``
 in one place. Results are written one JSON file per figure (result keys
-at the top level plus a ``_meta`` block with elapsed time and the
-round-engine per-phase timings) and printed in the paper's row format.
+at the top level plus a ``_meta`` block with elapsed time, the
+round-engine per-phase timings, and a ``trace`` telemetry summary —
+rounds observed, flagged-worker totals, mean reward Gini/share entropy,
+and the span-timing table) and printed in the paper's row format.
 ``--all`` keeps going when a driver fails, prints a per-figure pass/fail
 summary, and exits non-zero if anything failed.
 """
@@ -27,7 +29,7 @@ import time
 import traceback
 from pathlib import Path
 
-from ..profiling import get_profiler, profile_delta
+from ..telemetry import get_telemetry, profile_delta, trace_summary
 from .registry import FIGURES, REGISTRY
 
 __all__ = ["FIGURES", "REGISTRY", "run_figure", "main"]
@@ -96,10 +98,11 @@ def main(argv: list[str] | None = None) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    profiler = get_profiler()
+    telemetry = get_telemetry()
     status: dict[str, str] = {}
     for fig_id in wanted:
-        before = profiler.snapshot()
+        before = telemetry.snapshot()
+        seq_before = telemetry.seq
         t0 = time.time()
         try:
             result, rows = run_figure(fig_id, fast=args.fast)
@@ -115,11 +118,17 @@ def main(argv: list[str] | None = None) -> int:
             print(row)
         if out_dir is not None:
             payload = _jsonable(result)
+            # This figure's slice of the event stream (seq is monotonic,
+            # so the filter survives ring-buffer eviction of older runs).
+            fig_events = [
+                ev for ev in telemetry.events() if ev["seq"] >= seq_before
+            ]
             payload["_meta"] = {
                 "figure": fig_id,
                 "fast": args.fast,
                 "elapsed_s": elapsed,
-                "profile": profile_delta(before, profiler.snapshot()),
+                "profile": profile_delta(before, telemetry.snapshot()),
+                "trace": trace_summary(fig_events),
             }
             path = out_dir / f"{fig_id}.json"
             path.write_text(json.dumps(payload, indent=2))

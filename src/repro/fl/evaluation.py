@@ -18,6 +18,7 @@ import numpy as np
 
 from ..datasets import Dataset
 from ..nn import Sequential
+from ..telemetry import get_telemetry
 
 __all__ = ["evaluate", "accuracy", "batch_views"]
 
@@ -60,15 +61,18 @@ def evaluate(
     Batched so convolutional models with large eval sets stay within
     memory; loss is the sample-weighted mean of batch losses.
     """
-    total_loss = 0.0
-    correct = 0
-    scratch: np.ndarray | None = None
-    for x, y in batch_views(data, batch_size):
-        logits = model.forward(x, training=False)
-        loss_sum, batch_correct, scratch = _batch_stats(logits, y, scratch)
-        total_loss += loss_sum
-        correct += batch_correct
+    tele = get_telemetry()
     n = len(data)
+    with tele.span("evaluation.evaluate", samples=n):
+        total_loss = 0.0
+        correct = 0
+        scratch: np.ndarray | None = None
+        for x, y in batch_views(data, batch_size):
+            logits = model.forward(x, training=False)
+            loss_sum, batch_correct, scratch = _batch_stats(logits, y, scratch)
+            total_loss += loss_sum
+            correct += batch_correct
+    tele.count("evaluation.samples", n)
     return total_loss / n, correct / n
 
 

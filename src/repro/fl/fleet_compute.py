@@ -93,6 +93,19 @@ class FleetLocalEngine:
                 by_key.setdefault(key, []).append(w)
         self._groups = [_FleetGroup(members) for members in by_key.values()]
         self._grouped_for = exclude
+        # Fleet-shape telemetry, re-emitted only when the grouping
+        # actually changes (worker failure, reselection) — near-zero
+        # steady-state cost, and the trace records every fleet reshape.
+        prof = self.profiler
+        prof.gauge("fleet.groups", len(self._groups))
+        prof.gauge("fleet.scalar_workers", len(self._scalar))
+        if self._groups:
+            prof.register_histogram(
+                "fleet.group_size", (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+            )
+            prof.observe_many(
+                "fleet.group_size", [len(g.workers) for g in self._groups]
+            )
 
     def _run_group(
         self,

@@ -256,6 +256,10 @@ class FederatedTrainer:
 
     def run_round(self, round_idx: int) -> RoundRecord:
         """Execute one synchronous round and update the global model."""
+        with self.profiler.span("trainer.round", kind="round", round=round_idx):
+            return self._run_round(round_idx)
+
+    def _run_round(self, round_idx: int) -> RoundRecord:
         prof = self.profiler
         theta = self.model.get_flat_params()
         global_buffers = self.model.get_flat_buffers()
@@ -300,10 +304,14 @@ class FederatedTrainer:
                 weights = [ctx.sample_counts[w] for w in accepted_ids]
                 agg_slices = []
                 for srv in self.server_ranks:
-                    per_server = [delivered[w][srv] for w in accepted_ids]
-                    agg_slices.append(fedavg(per_server, weights))
+                    with prof.span(
+                        "trainer.server_slice", kind="slice", server=srv
+                    ):
+                        per_server = [delivered[w][srv] for w in accepted_ids]
+                        agg_slices.append(fedavg(per_server, weights))
                 global_grad = recombine(agg_slices)
             grad_norm = float(np.linalg.norm(global_grad))
+            prof.gauge("trainer.grad_norm", grad_norm)
             lr = self._round_lr(round_idx)
             self.model.set_flat_params(theta - lr * global_grad)
             # Step 1.4: servers broadcast their global slice to every
@@ -356,12 +364,19 @@ class FederatedTrainer:
         saved_test = self.test_data
         before = self.profiler.snapshot()
         try:
-            for t in range(num_rounds):
-                # Skip expensive evaluation on non-reporting rounds.
-                self.test_data = saved_test if (t % eval_every == 0 or t == num_rounds - 1) else None
-                history.rounds.append(self.run_round(t))
-                if self.reselect_every and (t + 1) % self.reselect_every == 0:
-                    self._reselect_servers()
+            with self.profiler.span(
+                "trainer.run",
+                kind="run",
+                rounds=num_rounds,
+                workers=self.num_workers,
+                servers=self.num_servers,
+            ):
+                for t in range(num_rounds):
+                    # Skip expensive evaluation on non-reporting rounds.
+                    self.test_data = saved_test if (t % eval_every == 0 or t == num_rounds - 1) else None
+                    history.rounds.append(self.run_round(t))
+                    if self.reselect_every and (t + 1) % self.reselect_every == 0:
+                        self._reselect_servers()
         finally:
             # An exception mid-run must not leave the eval-toggling hack
             # permanently stuck with test_data=None.

@@ -1,12 +1,16 @@
-"""Metrics: detection confusion rates and reporting utilities."""
+"""Metrics: detection confusion rates, fairness, reporting utilities."""
 
 from .detection import ConfusionCounts, aggregate_confusion, confusion
+from .fairness import gini, reward_fairness, share_entropy
 from .series import auc, final_value, moving_average, relative_percent
 
 __all__ = [
     "ConfusionCounts",
     "confusion",
     "aggregate_confusion",
+    "gini",
+    "reward_fairness",
+    "share_entropy",
     "moving_average",
     "final_value",
     "relative_percent",

@@ -1,27 +1,33 @@
-"""Lightweight per-phase profiling for the round engine.
+"""Back-compat shim over :mod:`repro.telemetry` (the old flat profiler).
 
-The ROADMAP's north star is a simulator that runs "as fast as the
-hardware allows"; you cannot optimise what you cannot see. This module
-provides a :class:`Profiler` with named phase timers (wall-clock via
-``time.perf_counter``) and counters, cheap enough to stay always-on:
-one context-manager entry per phase per round, no allocation beyond a
-dict slot per phase name.
+Historically this module owned the per-phase timing layer. The
+telemetry tentpole (ISSUE 3) folded it into the richer
+:class:`repro.telemetry.Telemetry` hub — hierarchical spans, metrics,
+sinks — which implements the full legacy ``Profiler`` contract
+(``phase`` / ``add_time`` / ``count`` / ``snapshot`` / ``reset``) on top.
 
-One process-wide default profiler (:func:`get_profiler`) is shared by
-:class:`~repro.fl.FederatedTrainer` and
-:class:`~repro.core.FIFLMechanism` so a whole training run's phases land
-in one place. Consumers that need per-run numbers (the trainer's
-``TrainingHistory.profile``, the experiment runner's JSON output, the
-engine benchmark) take a :meth:`Profiler.snapshot` before the work and
-diff it after with :func:`profile_delta` — snapshots are plain nested
-dicts, directly JSON-serializable.
+The public names keep their exact contracts:
+
+* ``Profiler()`` constructs a fresh hub (default in-memory sink);
+* ``get_profiler()`` / ``set_profiler()`` alias the process-wide hub
+  accessors, so the trainer, mechanism and engines all still share one
+  accounting;
+* ``profile_delta`` / ``format_profile`` operate on the unchanged
+  snapshot shape ``{"timings": {phase: {"seconds", "calls"}},
+  "counters": {...}}``.
+
+New code should import from :mod:`repro.telemetry` directly.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from .telemetry import (
+    Telemetry as Profiler,
+    format_profile,
+    get_telemetry as get_profiler,
+    profile_delta,
+    set_telemetry as set_profiler,
+)
 
 __all__ = [
     "Profiler",
@@ -30,108 +36,3 @@ __all__ = [
     "profile_delta",
     "format_profile",
 ]
-
-
-class Profiler:
-    """Accumulates wall-clock time and call counts per named phase."""
-
-    def __init__(self) -> None:
-        # phase name -> [total seconds, calls]
-        self._timings: dict[str, list[float]] = {}
-        self._counters: dict[str, float] = {}
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Time one phase; nested/repeated phases accumulate."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - t0
-            slot = self._timings.get(name)
-            if slot is None:
-                self._timings[name] = [elapsed, 1]
-            else:
-                slot[0] += elapsed
-                slot[1] += 1
-
-    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
-        """Fold an externally measured duration into a phase."""
-        if seconds < 0:
-            raise ValueError("seconds must be non-negative")
-        slot = self._timings.get(name)
-        if slot is None:
-            self._timings[name] = [seconds, calls]
-        else:
-            slot[0] += seconds
-            slot[1] += calls
-
-    def count(self, name: str, n: float = 1) -> None:
-        """Bump a named counter (workers scored, bytes moved, ...)."""
-        self._counters[name] = self._counters.get(name, 0) + n
-
-    def snapshot(self) -> dict:
-        """JSON-ready copy: ``{"timings": {phase: {"seconds", "calls"}},
-        "counters": {...}}``."""
-        return {
-            "timings": {
-                name: {"seconds": total, "calls": int(calls)}
-                for name, (total, calls) in self._timings.items()
-            },
-            "counters": dict(self._counters),
-        }
-
-    def reset(self) -> None:
-        self._timings.clear()
-        self._counters.clear()
-
-
-def profile_delta(before: dict, after: dict) -> dict:
-    """What happened between two snapshots (phases new to ``after`` kept)."""
-    timings = {}
-    for name, stat in after["timings"].items():
-        prev = before["timings"].get(name, {"seconds": 0.0, "calls": 0})
-        seconds = stat["seconds"] - prev["seconds"]
-        calls = stat["calls"] - prev["calls"]
-        if calls > 0 or seconds > 0:
-            timings[name] = {"seconds": seconds, "calls": calls}
-    counters = {}
-    for name, value in after["counters"].items():
-        diff = value - before["counters"].get(name, 0)
-        if diff:
-            counters[name] = diff
-    return {"timings": timings, "counters": counters}
-
-
-def format_profile(profile: dict) -> list[str]:
-    """Human-readable rows for a snapshot/delta, longest phase first."""
-    rows = []
-    timings = profile.get("timings", {})
-    total = sum(s["seconds"] for s in timings.values())
-    for name, stat in sorted(
-        timings.items(), key=lambda kv: -kv[1]["seconds"]
-    ):
-        share = 100.0 * stat["seconds"] / total if total > 0 else 0.0
-        rows.append(
-            f"{name:>16}  {stat['seconds'] * 1e3:10.2f} ms"
-            f"  {stat['calls']:>7} calls  {share:5.1f}%"
-        )
-    for name, value in sorted(profile.get("counters", {}).items()):
-        rows.append(f"{name:>16}  {value:g}")
-    return rows
-
-
-_PROFILER = Profiler()
-
-
-def get_profiler() -> Profiler:
-    """The process-wide profiler shared by trainer and mechanism."""
-    return _PROFILER
-
-
-def set_profiler(profiler: Profiler) -> Profiler:
-    """Swap the process-wide profiler (returns the previous one)."""
-    global _PROFILER
-    previous = _PROFILER
-    _PROFILER = profiler
-    return previous

@@ -1,0 +1,8 @@
+"""``python -m repro.telemetry`` entry point."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

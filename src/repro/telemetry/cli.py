@@ -1,0 +1,68 @@
+"""Telemetry CLI: render JSONL traces from the command line.
+
+Usage::
+
+    python -m repro.telemetry summarize results/trace.jsonl
+    python -m repro.telemetry summarize trace.jsonl --rounds 0 --json
+
+``summarize`` reads a JSONL trace (written by
+:class:`repro.telemetry.JsonlSink`) and prints the per-round mechanism
+table (flagged workers, reward Gini, share entropy), the phase-time
+breakdown, last gauge values, and any embedded run manifests.
+``--json`` prints the machine-readable :func:`trace_summary` block
+instead of tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core import SCHEMA_VERSION
+from .sinks import read_trace
+from .summary import render_summary, trace_summary
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="render a JSONL trace as per-round tables"
+    )
+    p_sum.add_argument("trace", help="path to a .jsonl trace file")
+    p_sum.add_argument(
+        "--rounds", type=int, default=20,
+        help="max per-round rows to print (0 = all; default 20)",
+    )
+    p_sum.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summary block instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = read_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    bad = [
+        ev for ev in events
+        if ev.get("v") not in (None, SCHEMA_VERSION)
+    ]
+    if bad:
+        print(
+            f"warning: {len(bad)} events with unknown schema version "
+            f"(this reader understands v{SCHEMA_VERSION})",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(trace_summary(events), indent=2))
+    else:
+        for row in render_summary(events, max_rounds=args.rounds):
+            print(row)
+    return 0

@@ -1,0 +1,43 @@
+"""Deterministic run manifests for benchmarks and experiment drivers.
+
+A manifest is one ``manifest`` event carrying everything needed to
+reproduce and compare a run: a name, the exact configuration (including
+the seed — the whole stack is seeded, so config + seed pins the run),
+and the measured results (timings, speedups). Benchmarks route their
+``BENCH_*.json`` payloads through here so the manifest also lands in
+whatever sinks are active (in-memory, JSONL trace, console).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import SCHEMA_VERSION, Telemetry, get_telemetry
+
+__all__ = ["run_manifest", "write_manifest"]
+
+
+def run_manifest(
+    name: str,
+    config: dict,
+    results: dict,
+    telemetry: Telemetry | None = None,
+) -> dict:
+    """Build a run manifest and emit it as a ``manifest`` event."""
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "config": dict(config),
+        "results": results,
+    }
+    tele = telemetry if telemetry is not None else get_telemetry()
+    tele.event("manifest", manifest)
+    return manifest
+
+
+def write_manifest(path, manifest: dict) -> Path:
+    """Persist a manifest as pretty-printed JSON (returns the path)."""
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return path

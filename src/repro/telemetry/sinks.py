@@ -1,0 +1,131 @@
+"""Telemetry sinks: in-memory ring, JSONL event stream, console summary.
+
+Every sink receives each emitted event exactly once, in emission order,
+as a plain dict already stamped with the schema version (``v``) and the
+sequence number (``seq``). Sinks never mutate events.
+
+``encode_event`` defines the canonical wire encoding: sorted keys, no
+whitespace, NaN rejected, numpy scalars coerced. Canonical bytes are
+what makes seeded traces byte-identical across runs — and therefore
+usable as regression fixtures, not just logs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "encode_event",
+    "decode_event",
+    "read_trace",
+    "MemorySink",
+    "JsonlSink",
+    "ConsoleSink",
+]
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays and sets into JSON-native values."""
+    import numpy as np
+
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def encode_event(event: dict) -> str:
+    """One canonical JSONL line (no trailing newline) for an event."""
+    return json.dumps(
+        event,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+        default=_json_default,
+    )
+
+
+def decode_event(line: str) -> dict:
+    """Parse one JSONL trace line back into an event dict."""
+    return json.loads(line)
+
+
+def read_trace(path) -> list[dict]:
+    """All events of a JSONL trace file, in file order."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(decode_event(line))
+    return events
+
+
+class MemorySink:
+    """Default sink: a bounded in-memory ring of event dicts.
+
+    The ``maxlen`` cap keeps week-long runs from growing without bound;
+    eviction drops the *oldest* events, so recent history (what a
+    summary or a crash post-mortem wants) is always retained.
+    """
+
+    def __init__(self, maxlen: int | None = 65536):
+        self.events: deque = deque(maxlen=maxlen)
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Streams every event as one canonical JSON line to a file.
+
+    The file is opened eagerly (truncating) so a crashed run still
+    leaves a readable prefix. ``close()`` is idempotent; the sink also
+    works as a context manager.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError(f"JsonlSink({self.path}) is closed")
+        self._fh.write(encode_event(event))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ConsoleSink(MemorySink):
+    """Buffers events and prints a rendered summary on ``close()``."""
+
+    def __init__(self, stream=None, maxlen: int | None = 65536):
+        super().__init__(maxlen=maxlen)
+        self.stream = stream if stream is not None else sys.stdout
+
+    def close(self) -> None:
+        # Imported here: summary renders *from* events, sinks must not
+        # depend on it at import time (summary imports this module).
+        from .summary import render_summary
+
+        for row in render_summary(list(self.events)):
+            print(row, file=self.stream)

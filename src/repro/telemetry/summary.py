@@ -1,0 +1,132 @@
+"""Trace analysis: compact summaries and human-readable tables.
+
+Works on any list of trace events — live from a :class:`MemorySink`,
+or re-read from a JSONL trace file via :func:`repro.telemetry.read_trace`.
+Two consumers:
+
+* :func:`trace_summary` — the machine-readable block the experiment
+  runner embeds as ``_meta.trace`` in every saved figure JSON;
+* :func:`render_summary` — the per-round mechanism table (flagged
+  workers, reward Gini, share entropy) plus the phase-time breakdown
+  that the ``python -m repro.telemetry summarize`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from .core import SCHEMA_VERSION, format_profile
+
+__all__ = ["trace_summary", "render_summary", "aggregate_spans"]
+
+#: event type emitted once per round by the FIFL mechanism
+ROUND_EVENT = "fifl.round"
+
+
+def aggregate_spans(events: list[dict]) -> dict:
+    """Fold span events into a flat ``{name: {"seconds", "calls"}}`` table."""
+    timings: dict[str, dict] = {}
+    for ev in events:
+        if ev.get("type") != "span":
+            continue
+        slot = timings.setdefault(ev["name"], {"seconds": 0.0, "calls": 0})
+        slot["seconds"] += ev.get("dur_s", 0.0)
+        slot["calls"] += 1
+    return timings
+
+
+def _round_events(events: list[dict]) -> list[dict]:
+    return [ev["data"] for ev in events if ev.get("type") == ROUND_EVENT]
+
+
+def trace_summary(events: list[dict]) -> dict:
+    """Machine-readable digest of one event stream.
+
+    Includes the schema version, event/span/round counts, total flagged
+    workers across rounds, the mean per-round reward Gini and share
+    entropy, and the aggregated span-timing table.
+    """
+    rounds = _round_events(events)
+    ginis = [r["reward_gini"] for r in rounds if r.get("reward_gini") is not None]
+    entropies = [
+        r["share_entropy"] for r in rounds if r.get("share_entropy") is not None
+    ]
+    manifests = [ev["data"] for ev in events if ev.get("type") == "manifest"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "events": len(events),
+        "rounds": len(rounds),
+        "flagged_total": sum(len(r.get("flagged", [])) for r in rounds),
+        "uncertain_total": sum(len(r.get("uncertain", [])) for r in rounds),
+        "reward_gini_mean": sum(ginis) / len(ginis) if ginis else None,
+        "share_entropy_mean": (
+            sum(entropies) / len(entropies) if entropies else None
+        ),
+        "manifests": [m.get("name") for m in manifests],
+        "spans": aggregate_spans(events),
+    }
+
+
+def _fmt_ids(ids: list) -> str:
+    return ",".join(str(i) for i in ids) if ids else "-"
+
+
+def render_summary(
+    events: list[dict], max_rounds: int = 20
+) -> list[str]:
+    """Printable report: header, per-round mechanism table, phase times.
+
+    ``max_rounds`` bounds the per-round table to the trailing rounds
+    (0 = unlimited); the header always reports the full totals.
+    """
+    summary = trace_summary(events)
+    rounds = _round_events(events)
+    rows = [
+        f"trace summary (schema v{summary['schema_version']}): "
+        f"{summary['events']} events, {summary['rounds']} rounds, "
+        f"{summary['flagged_total']} flagged-worker rounds"
+    ]
+
+    if rounds:
+        shown = rounds if not max_rounds else rounds[-max_rounds:]
+        if len(shown) < len(rounds):
+            rows.append(
+                f"  (per-round table: last {len(shown)} of {len(rounds)} rounds)"
+            )
+        rows.append(
+            f"{'round':>7} {'accepted':>9} {'flagged':>12} {'uncertain':>10} "
+            f"{'reward_gini':>12} {'share_entropy':>14}"
+        )
+        for r in shown:
+            gini = r.get("reward_gini")
+            ent = r.get("share_entropy")
+            rows.append(
+                f"{r.get('round', '?'):>7} {r.get('accepted', 0):>9} "
+                f"{_fmt_ids(r.get('flagged', [])):>12} "
+                f"{_fmt_ids(r.get('uncertain', [])):>10} "
+                f"{(f'{gini:.4f}' if gini is not None else '-'):>12} "
+                f"{(f'{ent:.4f}' if ent is not None else '-'):>14}"
+            )
+
+    timings = summary["spans"]
+    if timings:
+        rows.append("phase time breakdown:")
+        rows.extend(format_profile({"timings": timings}))
+
+    gauges: dict[str, float] = {}
+    for ev in events:
+        if ev.get("type") == "metric" and ev.get("kind") == "gauge":
+            gauges[ev["name"]] = ev["value"]
+    if gauges:
+        rows.append("last gauge values:")
+        for name in sorted(gauges):
+            rows.append(f"  {name:<24} {gauges[name]:g}")
+
+    manifests = [ev["data"] for ev in events if ev.get("type") == "manifest"]
+    for m in manifests:
+        rows.append(f"run manifest: {m.get('name', '?')}")
+        cfg = m.get("config", {})
+        if cfg:
+            rows.append(
+                "  config: "
+                + " ".join(f"{k}={cfg[k]}" for k in sorted(cfg))
+            )
+    return rows

@@ -1,0 +1,92 @@
+"""Fairness metrics: Gini coefficient, share entropy, fused fast path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import gini, reward_fairness, share_entropy
+
+
+def brute_force_gini(values):
+    """Mean-absolute-difference definition, O(n^2) reference."""
+    v = np.asarray(values, dtype=np.float64)
+    n, total = v.size, v.sum()
+    return float(
+        np.abs(v[:, None] - v[None, :]).sum() / (2 * n * n * (total / n))
+    )
+
+
+class TestGini:
+    def test_equal_shares_is_zero(self):
+        assert gini([2.0, 2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_one_takes_all(self):
+        # fully concentrated: G = (n - 1) / n
+        assert gini([0.0, 0.0, 0.0, 1.0]) == pytest.approx(0.75)
+
+    def test_matches_brute_force_definition(self):
+        rng = np.random.default_rng(7)
+        v = rng.uniform(0.0, 5.0, size=57)
+        assert gini(v) == pytest.approx(brute_force_gini(v), abs=1e-12)
+
+    def test_scale_invariant(self):
+        v = [1.0, 2.0, 5.0]
+        assert gini(v) == pytest.approx(gini([x * 1000 for x in v]))
+
+    def test_degenerate_inputs_are_trivially_equal(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+        assert gini([3.0]) == pytest.approx(0.0)
+
+    def test_rejects_negative_and_non_1d(self):
+        with pytest.raises(ValueError):
+            gini([1.0, -0.5])
+        with pytest.raises(ValueError):
+            gini([[1.0, 2.0]])
+
+
+class TestShareEntropy:
+    def test_uniform_shares_is_one(self):
+        assert share_entropy([3.0] * 8) == pytest.approx(1.0)
+
+    def test_fully_concentrated_is_zero(self):
+        assert share_entropy([0.0, 0.0, 4.0]) == pytest.approx(0.0)
+
+    def test_zero_shares_contribute_nothing(self):
+        # entropy over the positive pair, normalized by log(n=4)
+        expected = math.log(2) / math.log(4)
+        assert share_entropy([1.0, 1.0, 0.0, 0.0]) == pytest.approx(expected)
+
+    def test_degenerate_inputs(self):
+        assert share_entropy([]) == 0.0
+        assert share_entropy([5.0]) == 0.0
+        assert share_entropy([0.0, 0.0]) == 0.0
+
+    def test_rejects_negative_and_non_1d(self):
+        with pytest.raises(ValueError):
+            share_entropy([1.0, -1.0])
+        with pytest.raises(ValueError):
+            share_entropy([[1.0]])
+
+
+class TestRewardFairness:
+    def test_matches_standalone_functions(self):
+        rng = np.random.default_rng(11)
+        for v in ([], [0.0, 0.0], [4.0], rng.uniform(0.0, 3.0, size=64),
+                  np.concatenate([np.zeros(5), rng.uniform(1, 2, 10)])):
+            g, h = reward_fairness(v)
+            assert g == pytest.approx(gini(v), abs=1e-12)
+            assert h == pytest.approx(share_entropy(v), abs=1e-12)
+
+    def test_validation_matches_standalone(self):
+        with pytest.raises(ValueError):
+            reward_fairness([1.0, -1.0])
+        with pytest.raises(ValueError):
+            reward_fairness([[1.0, 2.0]])
+
+    def test_validate_false_skips_checks(self):
+        # caller vouches for the input; the fused path must not raise
+        g, h = reward_fairness(np.array([1.0, 2.0]), validate=False)
+        assert g == pytest.approx(gini([1.0, 2.0]))
+        assert h == pytest.approx(share_entropy([1.0, 2.0]))

@@ -1,0 +1,236 @@
+"""Telemetry hub: spans, metrics registry, deferred emission, clocks."""
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Histogram,
+    MemorySink,
+    Telemetry,
+    TickClock,
+    format_profile,
+    get_telemetry,
+    profile_delta,
+    set_telemetry,
+)
+
+
+def make_hub():
+    return Telemetry(sinks=[MemorySink()], clock=TickClock())
+
+
+class TestSpans:
+    def test_nested_spans_record_depth_and_order(self):
+        tele = make_hub()
+        with tele.span("run", kind="run"):
+            with tele.span("round", kind="round", round=3):
+                with tele.phase("round.phase"):
+                    pass
+        events = tele.events()
+        assert [ev["type"] for ev in events] == ["span"] * 3
+        # spans close inside-out
+        assert [ev["name"] for ev in events] == ["round.phase", "round", "run"]
+        assert [ev["depth"] for ev in events] == [3, 2, 1]
+        assert events[0]["kind"] == "phase"
+        assert events[1]["attrs"] == {"round": 3}
+        # attribute-less spans omit the attrs key entirely
+        assert "attrs" not in events[0]
+
+    def test_seq_strictly_increasing_and_versioned(self):
+        tele = make_hub()
+        for _ in range(5):
+            with tele.phase("p"):
+                pass
+        tele.gauge("g", 1.0)
+        events = tele.events()
+        assert [ev["seq"] for ev in events] == list(range(len(events)))
+        assert all(ev["v"] == SCHEMA_VERSION for ev in events)
+        assert tele.seq == len(events)
+
+    def test_tick_clock_durations_are_deterministic(self):
+        durs = []
+        for _ in range(2):
+            tele = Telemetry(clock=TickClock(step=0.5))
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    pass
+            durs.append([ev["dur_s"] for ev in tele.events()])
+        assert durs[0] == durs[1]
+        # inner span: one step between its enter and exit reads
+        assert durs[0][0] == pytest.approx(0.5)
+
+    def test_span_durations_fold_into_timing_table(self):
+        tele = make_hub()
+        with tele.phase("p"):
+            pass
+        with tele.phase("p"):
+            pass
+        snap = tele.snapshot()
+        assert snap["timings"]["p"]["calls"] == 2
+        assert snap["timings"]["p"]["seconds"] > 0
+
+    def test_current_depth_tracks_open_spans(self):
+        tele = make_hub()
+        assert tele.current_depth() == 0
+        with tele.span("a"):
+            with tele.span("b"):
+                assert tele.current_depth() == 2
+        assert tele.current_depth() == 0
+
+
+class TestDisabled:
+    def test_everything_is_a_noop(self):
+        tele = Telemetry(enabled=False)
+        with tele.span("a", kind="x", foo=1):
+            with tele.phase("b"):
+                pass
+        tele.count("c")
+        tele.gauge("g", 2.0)
+        tele.observe("h", 1.0)
+        tele.observe_many("h", [1.0, 2.0])
+        tele.event("custom", {"k": 1})
+        tele.defer(lambda t: [{}], (), 1)
+        tele.add_time("p", 1.0)
+        assert tele.events() == []
+        assert tele.seq == 0
+        assert tele.snapshot() == {"timings": {}, "counters": {}}
+        assert tele.metrics_snapshot() == {"gauges": {}, "histograms": {}}
+
+    def test_disabled_span_is_shared_null_object(self):
+        tele = Telemetry(enabled=False)
+        assert tele.span("a") is tele.span("b") is tele.phase("c")
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        tele = make_hub()
+        tele.count("n")
+        tele.count("n", 4)
+        assert tele.snapshot()["counters"] == {"n": 5}
+
+    def test_gauge_emits_metric_event_and_keeps_last_value(self):
+        tele = make_hub()
+        tele.gauge("m", 1.0)
+        tele.gauge("m", 2.5, round=7)
+        events = tele.events()
+        assert [ev["value"] for ev in events] == [1.0, 2.5]
+        assert events[1]["attrs"] == {"round": 7}
+        assert tele.metrics_snapshot()["gauges"] == {"m": 2.5}
+
+    def test_histogram_buckets_and_default_edges(self):
+        tele = make_hub()
+        tele.register_histogram("h", edges=(0.0, 1.0))
+        tele.observe("h", -1.0)
+        tele.observe_many("h", [0.5, 0.5, 2.0])
+        snap = tele.metrics_snapshot()["histograms"]["h"]
+        assert snap["edges"] == [0.0, 1.0]
+        assert snap["counts"] == [1, 2, 1]
+        assert snap["total"] == 4
+        assert snap["sum"] == pytest.approx(2.0)
+        # unregistered metric falls back to the default grid
+        tele.observe("other", 0.05)
+        assert tele.metrics_snapshot()["histograms"]["other"]["total"] == 1
+
+    def test_register_histogram_is_idempotent(self):
+        tele = make_hub()
+        tele.register_histogram("h", edges=(0.0,))
+        tele.observe("h", 1.0)
+        tele.register_histogram("h", edges=(5.0, 6.0))
+        assert tele.metrics_snapshot()["histograms"]["h"]["edges"] == [0.0]
+
+    def test_histogram_deferred_bucketing_flushes_on_snapshot(self):
+        hist = Histogram(edges=(0.0,))
+        for _ in range(10):
+            hist.observe_many([1.0])
+        # observations buffered; snapshot forces the bucketing pass
+        assert hist.snapshot()["counts"] == [0, 10]
+
+    def test_add_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_hub().add_time("p", -1.0)
+
+    def test_tick_clock_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            TickClock(step=0.0)
+
+
+class TestDeferredEmission:
+    def test_defer_reserves_seq_range_in_stream_order(self):
+        tele = make_hub()
+        tele.event("before", {})
+
+        def emitter(t, base):
+            return [{"type": "deferred", "data": {"i": base + i}} for i in range(2)]
+
+        tele.defer(emitter, (10,), 2)
+        tele.event("after", {})
+        events = tele.events()
+        assert [ev["type"] for ev in events] == ["before", "deferred", "deferred", "after"]
+        # seq order reads exactly as if the events were emitted inline
+        assert [ev["seq"] for ev in events] == [0, 1, 2, 3]
+        assert events[1]["data"] == {"i": 10}
+
+    def test_defer_count_mismatch_raises_at_flush(self):
+        tele = make_hub()
+        tele.defer(lambda t: [{"type": "x"}], (), 2)
+        with pytest.raises(RuntimeError, match="reserved 2"):
+            tele.flush()
+
+    def test_thunk_side_effects_run_in_emission_order(self):
+        tele = make_hub()
+
+        def emitter(t):
+            t._gauges["from_thunk"] = 1.0
+            return [{"type": "x"}]
+
+        tele.defer(emitter, (), 1)
+        # the gauge set inside the thunk lands before the snapshot reads
+        assert tele.metrics_snapshot()["gauges"]["from_thunk"] == 1.0
+
+    def test_explicit_flush_materializes_into_sinks(self):
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink], clock=TickClock())
+        with tele.phase("p"):
+            pass
+        assert len(sink.events) == 0  # still pending
+        tele.flush()
+        assert len(sink.events) == 1
+
+    def test_reset_clears_aggregates_but_not_seq(self):
+        tele = make_hub()
+        with tele.phase("p"):
+            pass
+        tele.count("c")
+        tele.gauge("g", 1.0)
+        seq = tele.seq
+        tele.reset()
+        assert tele.snapshot() == {"timings": {}, "counters": {}}
+        assert tele.metrics_snapshot()["gauges"] == {}
+        assert tele.seq == seq  # seq survives: no two events may share one
+
+
+class TestGlobalHub:
+    def test_set_telemetry_swaps_and_returns_previous(self):
+        replacement = make_hub()
+        previous = set_telemetry(replacement)
+        try:
+            assert get_telemetry() is replacement
+        finally:
+            assert set_telemetry(previous) is replacement
+        assert get_telemetry() is previous
+
+
+class TestProfileHelpers:
+    def test_profile_delta_and_format(self):
+        tele = make_hub()
+        with tele.phase("p"):
+            pass
+        before = tele.snapshot()
+        with tele.phase("p"):
+            pass
+        tele.count("c", 3)
+        delta = profile_delta(before, tele.snapshot())
+        assert delta["timings"]["p"]["calls"] == 1
+        assert delta["counters"] == {"c": 3}
+        rows = format_profile(delta)
+        assert any("p" in row for row in rows)

@@ -1,0 +1,114 @@
+"""Sinks and the canonical JSONL trace encoding."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    ConsoleSink,
+    JsonlSink,
+    MemorySink,
+    Telemetry,
+    TickClock,
+    decode_event,
+    encode_event,
+    read_trace,
+)
+
+
+class TestEncoding:
+    def test_canonical_form_sorted_keys_no_whitespace(self):
+        line = encode_event({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_round_trip(self):
+        event = {"type": "span", "name": "p", "dur_s": 0.25, "seq": 4}
+        assert decode_event(encode_event(event)) == event
+
+    def test_numpy_and_set_coercion(self):
+        event = {
+            "f": np.float64(0.5),
+            "i": np.int64(3),
+            "a": np.arange(3),
+            "s": {2, 1},
+        }
+        assert decode_event(encode_event(event)) == {
+            "f": 0.5, "i": 3, "a": [0, 1, 2], "s": [1, 2],
+        }
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            encode_event({"x": float("nan")})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_event({"x": object()})
+
+
+class TestMemorySink:
+    def test_bounded_ring_drops_oldest(self):
+        sink = MemorySink(maxlen=3)
+        for i in range(5):
+            sink.emit({"seq": i})
+        assert [ev["seq"] for ev in sink.events] == [2, 3, 4]
+
+
+class TestJsonlSink:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tele = Telemetry(
+            sinks=[MemorySink(), JsonlSink(path)], clock=TickClock()
+        )
+        with tele.span("round", kind="round", round=0):
+            with tele.phase("round.phase"):
+                pass
+        tele.gauge("m", 1.5)
+        tele.event("fifl.round", {"round": 0, "flagged": [3, 5]})
+        tele.close()
+
+        from_file = read_trace(path)
+        in_memory = tele.events()
+        # the file is the canonical encoding of exactly the same stream
+        assert from_file == [
+            decode_event(encode_event(ev)) for ev in in_memory
+        ]
+        assert [ev["seq"] for ev in from_file] == list(range(len(from_file)))
+        assert all(ev["v"] == SCHEMA_VERSION for ev in from_file)
+        assert from_file[-1]["data"]["flagged"] == [3, 5]
+
+    def test_each_event_is_one_json_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"seq": 0})
+            sink.emit({"seq": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sink.emit({"seq": 0})
+
+
+class TestConsoleSink:
+    def test_prints_summary_on_close(self):
+        stream = io.StringIO()
+        tele = Telemetry(sinks=[ConsoleSink(stream)], clock=TickClock())
+        with tele.phase("trainer.round"):
+            pass
+        tele.event(
+            "fifl.round",
+            {"round": 0, "accepted": 6, "flagged": [7], "uncertain": [],
+             "reward_gini": 0.25, "share_entropy": 0.9},
+        )
+        tele.close()
+        out = stream.getvalue()
+        assert "trace summary" in out
+        assert "reward_gini" in out
+        assert "trainer.round" in out
