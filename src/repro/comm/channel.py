@@ -4,23 +4,36 @@ The paper's polycentric FL protocol moves gradient *slices* between
 workers and servers (S3.2 steps 1.3/1.4). We reproduce that protocol over
 an in-process network that keeps MPI's send/recv/bcast/gather vocabulary
 (mirroring how a multi-node deployment would be written with mpi4py) while
-adding two things the experiments need:
+adding three things the experiments need:
 
 * **failure injection** — each link can drop messages with a configured
-  probability; drops surface as the SLM reputation module's *uncertain
-  events* (S4.2);
-* **byte accounting** — every delivered payload's size is tallied per
-  link, so the communication-overhead ablations can compare centralized,
-  polycentric, and decentralized architectures quantitatively.
+  probability, and links can be deterministically blocked (partitions,
+  crashed nodes); drops surface as the SLM reputation module's
+  *uncertain events* (S4.2);
+* **byte accounting** — every payload accepted onto a link is tallied,
+  so the communication-overhead ablations can compare centralized,
+  polycentric, and decentralized architectures quantitatively. The same
+  tallies stream into :mod:`repro.telemetry` as ``comm.*`` counters;
+* **latency** — attached to a :class:`~repro.sim.Simulator` with a
+  :class:`~repro.sim.latency.LatencyModel`, a sent message *arrives at a
+  time* instead of appearing instantly: the send schedules a delivery
+  event on the simulator's virtual clock. Without a latency model the
+  legacy instantaneous path is taken unchanged (and makes no extra RNG
+  draws), which is what keeps zero-latency simulated runs bit-identical
+  to direct ones.
 """
 
 from __future__ import annotations
 
+import sys
+import warnings
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+
+from ..telemetry import get_telemetry
 
 __all__ = ["Message", "DropLog", "Network"]
 
@@ -50,6 +63,11 @@ class DropLog:
         )
 
 
+#: payload types already warned about by the size fallback (one warning
+#: per type per process keeps a hot loop from spamming)
+_SIZE_FALLBACK_WARNED: set[type] = set()
+
+
 def _payload_nbytes(payload: Any) -> int:
     """Best-effort size of a payload in bytes (arrays dominate in FL)."""
     if isinstance(payload, np.ndarray):
@@ -62,14 +80,30 @@ def _payload_nbytes(payload: Any) -> int:
         return 8
     if isinstance(payload, (bytes, bytearray, str)):
         return len(payload)
-    return 0
+    # Unknown type: a silent 0 would corrupt the communication-overhead
+    # ablation's byte accounting, so fall back to the interpreter's own
+    # (conservative) object size and say so once per type.
+    tp = type(payload)
+    if tp not in _SIZE_FALLBACK_WARNED:
+        _SIZE_FALLBACK_WARNED.add(tp)
+        warnings.warn(
+            f"comm: no byte accounting rule for payload type "
+            f"{tp.__module__}.{tp.__qualname__}; falling back to "
+            f"sys.getsizeof — wire-size estimates for this type are "
+            f"approximate",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return int(sys.getsizeof(payload))
 
 
 class Network:
     """A set of nodes exchanging tagged messages over lossy links.
 
     Nodes are integer ranks ``0..num_nodes-1``. Messages are queued per
-    ``(dst, src, tag)`` so receives are deterministic FIFO per link+tag.
+    ``(dst, src, tag)`` so receives are deterministic FIFO per link+tag
+    (FIFO in *arrival* order: under a random latency model messages on
+    the same link may overtake each other, as on a real network).
     """
 
     def __init__(
@@ -77,16 +111,31 @@ class Network:
         num_nodes: int,
         drop_prob: float = 0.0,
         seed: int = 0,
+        latency=None,
+        sim=None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
-        if not 0.0 <= drop_prob < 1.0:
-            raise ValueError("drop_prob must be in [0, 1)")
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if latency is not None and sim is None:
+            raise ValueError("a latency model needs a Simulator (sim=...)")
         self.num_nodes = num_nodes
         self.default_drop_prob = drop_prob
         self._link_drop: dict[tuple[int, int], float] = {}
+        self._blocked: set[tuple[int, int]] = set()
         self._rng = np.random.default_rng(seed)
+        # The latency stream is separate from the drop stream: attaching
+        # a latency model must not change which messages drop.
+        self._lat_rng = np.random.default_rng((seed, 0x1A7E))
+        self.latency = latency
+        self.sim = sim
         self._queues: dict[tuple[int, int, str], deque[Message]] = defaultdict(deque)
+        # tag -> live queue keys, so cancel_tag is O(links on that tag)
+        # rather than a scan of every key ever created
+        self._tag_keys: dict[str, set[tuple[int, int, str]]] = defaultdict(set)
+        self._dead_tags: set[str] = set()
+        self.in_flight = 0
         self.drop_log = DropLog()
         self.bytes_sent: dict[tuple[int, int], int] = defaultdict(int)
         self.messages_delivered = 0
@@ -101,6 +150,27 @@ class Network:
             raise ValueError("prob must be in [0, 1]")
         self._link_drop[(src, dst)] = prob
 
+    def block_link(self, src: int, dst: int) -> None:
+        """Deterministically drop everything on one directed link.
+
+        Unlike a drop probability of 1.0 this consumes no RNG draws, so
+        transient partitions keep seeded runs byte-reproducible.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        self._blocked.add((src, dst))
+
+    def unblock_link(self, src: int, dst: int) -> None:
+        """Lift a :meth:`block_link` outage (no-op if not blocked)."""
+        self._blocked.discard((src, dst))
+
+    def set_blocked_links(self, links: set[tuple[int, int]]) -> None:
+        """Replace the whole blocked-link set (round-boundary partitions)."""
+        for src, dst in links:
+            self._check_rank(src)
+            self._check_rank(dst)
+        self._blocked = set(links)
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_nodes:
             raise ValueError(f"rank {rank} outside [0, {self.num_nodes})")
@@ -111,17 +181,57 @@ class Network:
     # -- point-to-point ------------------------------------------------------
 
     def send(self, src: int, dst: int, tag: str, payload: Any) -> bool:
-        """Send one message; returns False if the link dropped it."""
+        """Send one message; returns False if the link dropped it.
+
+        With a latency model attached the message is scheduled to arrive
+        ``latency.sample(...)`` virtual seconds from now; otherwise it is
+        enqueued instantly. Drops are decided synchronously either way
+        (the simulator is omniscient: a sender learns about a drop at
+        send time, which is what the bounded-retry process keys on).
+        """
         self._check_rank(src)
         self._check_rank(dst)
+        tele = get_telemetry()
+        if (src, dst) in self._blocked:
+            self.drop_log.drops.append((src, dst, tag))
+            tele.count("comm.drops")
+            return False
         p = self._drop_prob(src, dst)
         if p > 0.0 and self._rng.random() < p:
             self.drop_log.drops.append((src, dst, tag))
+            tele.count("comm.drops")
             return False
         nbytes = _payload_nbytes(payload)
-        self._queues[(dst, src, tag)].append(Message(src, dst, tag, payload, nbytes))
+        msg = Message(src, dst, tag, payload, nbytes)
         self.bytes_sent[(src, dst)] += nbytes
+        tele.count("comm.bytes_sent", nbytes)
+        if self.latency is not None:
+            delay = float(self.latency.sample(self._lat_rng, src, dst, nbytes))
+            tele.observe("sim.latency", delay)
+            self.in_flight += 1
+            self.sim.schedule(delay, self._deliver, msg)
+        else:
+            self._queues[(dst, src, tag)].append(msg)
+            self._tag_keys[tag].add((dst, src, tag))
         return True
+
+    def _deliver(self, msg: Message) -> None:
+        """Delivery event: the in-flight message lands in its queue."""
+        self.in_flight -= 1
+        if msg.tag in self._dead_tags:
+            return  # round already closed; late arrival is discarded
+        self._queues[(msg.dst, msg.src, msg.tag)].append(msg)
+        self._tag_keys[msg.tag].add((msg.dst, msg.src, msg.tag))
+
+    def cancel_tag(self, tag: str) -> None:
+        """Close a tag: purge its queues and discard late arrivals.
+
+        Round tags are unique (``slice:<t>``), so closing them when the
+        round ends keeps straggling deliveries from accumulating.
+        """
+        self._dead_tags.add(tag)
+        for key in self._tag_keys.pop(tag, ()):
+            self._queues.pop(key, None)
 
     def recv(self, dst: int, src: int, tag: str) -> Message | None:
         """Pop the oldest message on (src -> dst, tag); None if empty."""
@@ -131,6 +241,7 @@ class Network:
         if not queue:
             return None
         self.messages_delivered += 1
+        get_telemetry().count("comm.messages_delivered")
         return queue.popleft()
 
     def pending(self, dst: int, src: int, tag: str) -> int:

@@ -20,6 +20,8 @@ from . import (
     fig13_cumulative_rewards,
     fig14_punishments,
     noniid,
+    sim_churn,
+    sim_stragglers,
 )
 from . import registry
 from .common import (
@@ -63,4 +65,6 @@ __all__ = [
     "fig13_cumulative_rewards",
     "fig14_punishments",
     "noniid",
+    "sim_churn",
+    "sim_stragglers",
 ]

@@ -38,6 +38,7 @@ from ..fl import (
     Worker,
 )
 from ..nn import Sequential, build_lenet, build_logreg, build_mini_resnet
+from ..sim import FaultScenario
 
 __all__ = [
     "AttackerSpec",
@@ -158,6 +159,9 @@ class FedExpConfig:
     # local-training engine: "fleet" (all workers' SGD batched into
     # stacked kernels) or "scalar" (per-worker reference loop)
     local_engine: str = "fleet"
+    # fault/timing scenario: None runs the direct (instantaneous) loop;
+    # a FaultScenario moves uploads onto the discrete-event kernel
+    scenario: FaultScenario | None = None
 
     def scaled(self, **overrides) -> "FedExpConfig":
         """Copy with overrides (e.g. full-paper scale)."""
@@ -273,6 +277,7 @@ def run_federated(
         drop_prob=cfg.drop_prob,
         seed=cfg.seed,
         local_engine=cfg.local_engine,
+        scenario=cfg.scenario,
     )
     # High-intensity attacks legitimately blow the model up (the paper:
     # "loss becomes NaN" at p_s >= 10); silence the float warnings so the

@@ -30,6 +30,8 @@ from . import (
     fig13_cumulative_rewards,
     fig14_punishments,
     noniid,
+    sim_churn,
+    sim_stragglers,
 )
 
 __all__ = ["FigureSpec", "REGISTRY", "FIGURES"]
@@ -136,6 +138,17 @@ REGISTRY: tuple[FigureSpec, ...] = (
         "ext-noniid", noniid,
         "detection under non-iid data",
         alphas=(100.0, 0.1), rounds=6,
+    ),
+    # discrete-event simulation scenarios (repro.sim)
+    _spec(
+        "sim-churn", sim_churn,
+        "reputation and rewards under worker/server churn",
+        rounds=8, eval_every=8,
+    ),
+    _spec(
+        "sim-stragglers", sim_stragglers,
+        "round time and deadline misses vs straggler rate",
+        rates=(0.0, 0.5), rounds=6, eval_every=6,
     ),
 )
 

@@ -18,18 +18,31 @@ rounds observed, flagged-worker totals, mean reward Gini/share entropy,
 and the span-timing table) and printed in the paper's row format.
 ``--all`` keeps going when a driver fails, prints a per-figure pass/fail
 summary, and exits non-zero if anything failed.
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to also stream the full
+telemetry trace (spans, mechanism metrics, sim.round events) to a JSONL
+file; render it with ``python -m repro.telemetry summarize``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import traceback
 from pathlib import Path
 
-from ..telemetry import get_telemetry, profile_delta, trace_summary
+from ..telemetry import (
+    JsonlSink,
+    MemorySink,
+    Telemetry,
+    get_telemetry,
+    profile_delta,
+    set_telemetry,
+    trace_summary,
+)
 from .registry import FIGURES, REGISTRY
 
 __all__ = ["FIGURES", "REGISTRY", "run_figure", "main"]
@@ -97,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        set_telemetry(Telemetry(sinks=[MemorySink(), JsonlSink(trace_path)]))
 
     telemetry = get_telemetry()
     status: dict[str, str] = {}

@@ -23,6 +23,7 @@ from ..comm import Network, polycentric_topology, validate_roles
 from ..datasets import Dataset
 from ..nn import Sequential
 from ..profiling import get_profiler, profile_delta
+from ..sim import FaultScenario, SimRoundRunner, Simulator, make_latency
 from .evaluation import evaluate
 from .fleet_compute import FleetLocalEngine
 from .gradients import fedavg, recombine, split_views
@@ -88,6 +89,11 @@ class RoundRecord:
     uncertain: set[int]
     mechanism_records: dict
     grad_norm: float
+    #: virtual seconds the round took (0.0 outside fault scenarios)
+    duration_s: float = 0.0
+    #: simulation detail when running under a FaultScenario: stragglers,
+    #: offline ranks, retries, late workers, per-worker wall-clock
+    sim: dict | None = None
 
 
 @dataclass
@@ -126,6 +132,7 @@ class FederatedTrainer:
         seed: int = 0,
         reselect_every: int = 0,
         local_engine: str = "fleet",
+        scenario: FaultScenario | None = None,
     ):
         if not workers:
             raise ValueError("need at least one worker")
@@ -151,7 +158,23 @@ class FederatedTrainer:
         self.test_data = test_data
         self.mechanism: RoundMechanism = mechanism if mechanism is not None else _AcceptAll()
         self.server_lr = server_lr if not callable(server_lr) else None
-        self.network = Network(self.num_workers, drop_prob=drop_prob, seed=seed)
+        self.seed = seed
+        # A FaultScenario moves the upload/collection phase onto the
+        # discrete-event kernel: the network delivers through the
+        # simulator's virtual clock and the round closes on a deadline.
+        self.scenario = scenario
+        self._sim_runner: SimRoundRunner | None = None
+        if scenario is not None:
+            sim = Simulator(seed=(seed, scenario.seed, 0x51D))
+            self.network = Network(
+                self.num_workers,
+                drop_prob=drop_prob,
+                seed=seed,
+                latency=make_latency(scenario.latency),
+                sim=sim,
+            )
+        else:
+            self.network = Network(self.num_workers, drop_prob=drop_prob, seed=seed)
         # S4.5: re-form the server cluster from the highest-reputation
         # workers every ``reselect_every`` rounds (0 = static cluster).
         # Requires a mechanism exposing ``recommend_servers(m)``.
@@ -172,6 +195,8 @@ class FederatedTrainer:
             )
         self.local_engine = local_engine
         self._fleet: FleetLocalEngine | None = None
+        if scenario is not None:
+            self._sim_runner = SimRoundRunner(self, scenario)
 
     @property
     def num_servers(self) -> int:
@@ -261,6 +286,14 @@ class FederatedTrainer:
 
     def _run_round(self, round_idx: int) -> RoundRecord:
         prof = self.profiler
+        plan = None
+        if self._sim_runner is not None:
+            # Fault scenario: apply churn/partitions and draw this
+            # round's compute-time plan before anyone trains.
+            plan = self._sim_runner.begin_round(round_idx)
+        exclude = (
+            self._failed if plan is None else self._failed | set(plan.offline)
+        )
         theta = self.model.get_flat_params()
         global_buffers = self.model.get_flat_buffers()
         with prof.phase("trainer.local_compute"):
@@ -270,16 +303,26 @@ class FederatedTrainer:
                         self.workers, profiler=self.profiler
                     )
                 updates = self._fleet.compute_updates(
-                    theta, global_buffers, exclude=self._failed
+                    theta, global_buffers, exclude=exclude
                 )
             else:
                 updates = {
                     w.worker_id: w.compute_update(theta, global_buffers)
                     for w in self.workers
-                    if w.worker_id not in self._failed
+                    if w.worker_id not in exclude
                 }
+        sim_info = None
         with prof.phase("trainer.upload"):
-            delivered, uncertain = self._upload_slices(updates, round_idx)
+            if self._sim_runner is not None:
+                sends = [
+                    (wid, split_views(upd.gradient, self.num_servers))
+                    for wid, upd in updates.items()
+                ]
+                delivered, uncertain, sim_info = self._sim_runner.collect(
+                    sends, round_idx, plan
+                )
+            else:
+                delivered, uncertain = self._upload_slices(updates, round_idx)
         prof.count("trainer.rounds")
         prof.count("trainer.uncertain_workers", len(uncertain))
 
@@ -339,6 +382,11 @@ class FederatedTrainer:
                 ]
                 self.model.set_flat_buffers(fedavg(buffer_vecs, weights_b))
 
+        if self._sim_runner is not None:
+            # Close the downlink tag: broadcast slices still in flight on
+            # the virtual clock are discarded, not queued forever.
+            self._sim_runner.end_round(round_idx)
+
         test_loss = test_acc = None
         if self.test_data is not None:
             with prof.phase("trainer.evaluate"):
@@ -352,6 +400,8 @@ class FederatedTrainer:
             uncertain=uncertain,
             mechanism_records=decision.records,
             grad_norm=grad_norm,
+            duration_s=sim_info["duration_s"] if sim_info else 0.0,
+            sim=sim_info,
         )
 
     def run(self, num_rounds: int, eval_every: int = 1) -> TrainingHistory:

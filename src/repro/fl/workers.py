@@ -83,6 +83,7 @@ class Worker:
         local_iters: int = 1,
         seed: int = 0,
         optimizer: Optimizer | None = None,
+        compute_time: float | Callable[[int, np.random.Generator], float] | None = None,
     ):
         if lr <= 0:
             raise ValueError("lr must be positive")
@@ -105,6 +106,29 @@ class Worker:
         # is what FedAvg-of-updates aggregates in practice. The optimizer
         # state is reset each round so rounds stay independent.
         self.optimizer = optimizer
+        # Per-worker compute-time model for fault scenarios: a constant
+        # (virtual seconds per round), a callable ``(round_idx, rng) ->
+        # seconds``, or None to use the scenario's base_compute_s.
+        if compute_time is not None and not callable(compute_time):
+            if compute_time < 0:
+                raise ValueError("compute_time must be non-negative")
+            compute_time = float(compute_time)
+        self.compute_time = compute_time
+
+    def local_compute_seconds(
+        self, round_idx: int, rng: np.random.Generator
+    ) -> float | None:
+        """Virtual seconds this round's local training takes (sim only).
+
+        ``None`` defers to the scenario's ``base_compute_s``. Callable
+        models draw from the simulator's fault stream, so they never
+        perturb training or network randomness.
+        """
+        if self.compute_time is None:
+            return None
+        if callable(self.compute_time):
+            return float(self.compute_time(round_idx, rng))
+        return self.compute_time
 
     @property
     def num_samples(self) -> int:

@@ -1,0 +1,157 @@
+"""Fault processes: stragglers, churn, crash/restart, link partitions.
+
+:class:`FaultScenario` is the declarative config block experiments embed
+(``FedExpConfig.scenario``): it bundles the network latency spec, the
+server-side round deadline and bounded-retry policy, the straggler
+process, a worker churn schedule (which also models worker/server
+crash + restart), and transient link partitions. Passing a scenario to
+:class:`~repro.fl.FederatedTrainer` switches the round's upload phase
+onto the discrete-event kernel; ``scenario=None`` keeps the direct
+(instantaneous) loop, and the null scenario — no latency, no faults, no
+deadline — reproduces the direct loop's output bit-for-bit (see
+``tests/sim/test_differential.py``).
+
+Fault taxonomy
+--------------
+* **stragglers** — each round, every active worker is independently a
+  straggler with probability ``straggler_rate``; its local compute time
+  is multiplied by ``straggler_slowdown``. Draws come from the
+  simulator's own seeded stream, so enabling stragglers never perturbs
+  training or drop randomness.
+* **churn / crash / restart** — ``churn`` is a schedule of
+  ``(round, worker_id, "leave" | "join")`` applied at round starts. A
+  departed worker computes nothing and sends nothing (its rounds are
+  simply absent); a departed *server* silently loses every slice
+  addressed to it, which makes every upload partial — the SLM
+  *uncertain event* path — until it rejoins or re-selection replaces
+  it. Crash/restart is leave/join on the same rank.
+* **partitions** — ``(start_round, end_round, group_a, group_b)``
+  blocks both directions between the groups for rounds in
+  ``[start, end)``. Blocked links drop deterministically (no RNG
+  draw), so a partitioned run stays byte-reproducible.
+* **deadline + bounded retry** — workers whose sends are dropped retry
+  up to ``max_retries`` times with exponential backoff
+  (``retry_backoff_s * backoff_factor ** attempt``); the server closes
+  the round at ``round_timeout_s`` regardless, and any worker whose
+  slices are late or missing becomes an uncertain event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .latency import LatencyConfig
+
+__all__ = ["FaultScenario"]
+
+_CHURN_ACTIONS = ("leave", "join")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Declarative fault + timing scenario for one federated run."""
+
+    name: str = "null"
+    #: message latency spec (None = instantaneous delivery)
+    latency: LatencyConfig | None = None
+    #: server-side round deadline in virtual seconds (None = wait for
+    #: every slice to resolve; drops still resolve instantly)
+    round_timeout_s: float | None = None
+    #: bounded resend attempts after a dropped send
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: default local compute time per round for workers that do not
+    #: carry their own compute-time model (see Worker.compute_time)
+    base_compute_s: float = 0.0
+    #: per-round straggler process: rate in [0, 1], multiplicative slowdown
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 5.0
+    #: (round, worker_id, "leave" | "join") schedule, applied at round start
+    churn: tuple[tuple[int, int, str], ...] = ()
+    #: (start_round, end_round, group_a, group_b) transient partitions
+    partitions: tuple[tuple[int, int, tuple[int, ...], tuple[int, ...]], ...] = ()
+    #: extra seed folded into the fault-process stream (stragglers)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.round_timeout_s is not None and self.round_timeout_s <= 0:
+            raise ValueError("round_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                "retry_backoff_s must be >= 0 and backoff_factor >= 1"
+            )
+        if self.base_compute_s < 0:
+            raise ValueError("base_compute_s must be non-negative")
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        for entry in self.churn:
+            rnd, wid, action = entry
+            if rnd < 0 or wid < 0:
+                raise ValueError(f"bad churn entry {entry!r}")
+            if action not in _CHURN_ACTIONS:
+                raise ValueError(
+                    f"churn action must be one of {_CHURN_ACTIONS}, got {action!r}"
+                )
+        for entry in self.partitions:
+            start, end, group_a, group_b = entry
+            if not 0 <= start < end:
+                raise ValueError(f"bad partition window in {entry!r}")
+            if not group_a or not group_b:
+                raise ValueError(f"partition groups must be non-empty: {entry!r}")
+            if set(group_a) & set(group_b):
+                raise ValueError(f"partition groups overlap: {entry!r}")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when the scenario injects no timing and no faults at all."""
+        return (
+            self.latency is None
+            and self.round_timeout_s is None
+            and self.max_retries == 0
+            and self.base_compute_s == 0.0
+            and self.straggler_rate == 0.0
+            and not self.churn
+            and not self.partitions
+        )
+
+    def churn_at(self, round_idx: int) -> list[tuple[int, str]]:
+        """The (worker, action) churn entries scheduled for one round."""
+        return [(w, a) for r, w, a in self.churn if r == round_idx]
+
+    def partition_links(
+        self, round_idx: int, num_nodes: int
+    ) -> set[tuple[int, int]]:
+        """Directed links blocked during ``round_idx`` (both directions)."""
+        blocked: set[tuple[int, int]] = set()
+        for start, end, group_a, group_b in self.partitions:
+            if not start <= round_idx < end:
+                continue
+            for a in group_a:
+                for b in group_b:
+                    if a < num_nodes and b < num_nodes:
+                        blocked.add((a, b))
+                        blocked.add((b, a))
+        return blocked
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before resend number ``attempt`` (0-based)."""
+        return self.retry_backoff_s * self.backoff_factor**attempt
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultScenario":
+        """The null scenario: kernel-scheduled but fault- and latency-free.
+
+        Differential-tested to reproduce the direct (non-simulated)
+        trainer bit-for-bit; the scheduler-overhead benchmark measures
+        this fast path.
+        """
+        return cls(name="null")

@@ -1,0 +1,175 @@
+"""Deterministic discrete-event simulation kernel.
+
+FIFL's reputation model is built on *uncertain events* — uploads that
+never arrive (S4.2) — and the paper's polycentric architecture argument
+(S3.2) is really about a network with latency, stragglers and node
+churn. This kernel supplies the missing substrate: a **virtual clock**
+that advances only when events fire, a **seeded event heap** with stable
+FIFO tie-breaking at equal timestamps, and **process-style actors**
+(plain generators that ``yield`` delays) for multi-step behaviours like
+bounded retry with backoff.
+
+Determinism contract
+--------------------
+The kernel never reads wall-clock time and never iterates an unordered
+container: event order is a pure function of ``(time, insertion seq)``,
+and all randomness flows through the simulator's single seeded
+``rng``. Two runs with the same seed and the same schedule of calls
+execute events in exactly the same order at exactly the same virtual
+times — which is what lets a fully seeded federated run write a
+byte-identical telemetry trace (see ``tests/sim/`` and
+``tests/telemetry/test_trace_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual clock + event heap + actor scheduler.
+
+    Events are ``(time, seq, fn, args)`` heap entries: ``seq`` is the
+    monotonically increasing insertion index, so events scheduled for
+    the same virtual time run in scheduling order (stable tie-break).
+    Cancellation is lazy — cancelled ids are skipped at pop time.
+    """
+
+    def __init__(self, seed: int | Iterable[int] = 0, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._cancelled: set[int] = set()
+        #: fault processes (stragglers, churn jitter, ...) draw from this
+        #: stream so they never disturb the training or network streams
+        self.rng = np.random.default_rng(seed)
+        self.events_run = 0
+
+    # -- clock -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward with no events in between.
+
+        Refuses to jump over a pending event — that would reorder the
+        simulation; run or cancel it first.
+        """
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards ({t} < {self._now})")
+        nxt = self.peek()
+        if nxt is not None and nxt < t:
+            raise RuntimeError(
+                f"pending event at t={nxt} blocks advancing the clock to {t}"
+            )
+        self._now = float(t)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> int:
+        """Run ``fn(*args)`` after ``delay`` virtual seconds; returns an id."""
+        return self.schedule_at(self._now + float(delay), fn, *args)
+
+    def schedule_at(self, t: float, fn: Callable, *args: Any) -> int:
+        """Run ``fn(*args)`` at absolute virtual time ``t``."""
+        if t < self._now:
+            raise ValueError(f"cannot schedule in the past ({t} < {self._now})")
+        eid = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (float(t), eid, fn, args))
+        return eid
+
+    def cancel(self, event_id: int) -> None:
+        """Drop a scheduled event (no-op if it already ran)."""
+        self._cancelled.add(event_id)
+
+    def spawn(self, gen: Generator[float, None, None], delay: float = 0.0) -> int:
+        """Run a process-style actor: a generator that yields delays.
+
+        The generator body runs inside events; each ``yield d`` suspends
+        the actor for ``d`` virtual seconds. Returning (or raising
+        StopIteration) ends the process.
+        """
+
+        def _advance() -> None:
+            try:
+                d = next(gen)
+            except StopIteration:
+                return
+            self.schedule(float(d), _advance)
+
+        return self.schedule(delay, _advance)
+
+    # -- execution -------------------------------------------------------------
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0][1] in self._cancelled:
+            self._cancelled.discard(heapq.heappop(heap)[1])
+
+    def peek(self) -> float | None:
+        """Virtual time of the next live event (None when idle)."""
+        self._drop_cancelled()
+        return self._heap[0][0] if self._heap else None
+
+    def idle(self) -> bool:
+        """True when no live events remain."""
+        return self.peek() is None
+
+    def step(self) -> bool:
+        """Pop and run the earliest event; False when the heap is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        t, _, fn, args = heapq.heappop(self._heap)
+        self._now = t
+        self.events_run += 1
+        fn(*args)
+        return True
+
+    def run_batch(self) -> int:
+        """Run every event scheduled at the next (single) timestamp.
+
+        Events an executing callback schedules *at that same timestamp*
+        join the batch — the round collector relies on this so a
+        zero-latency round resolves in one batch.
+        """
+        t = self.peek()
+        if t is None:
+            return 0
+        ran = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt > t:
+                return ran
+            self.step()
+            ran += 1
+
+    def run_until(self, t: float) -> int:
+        """Run all events with time <= ``t``; clock ends exactly at ``t``."""
+        ran = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            ran += 1
+        self.advance_to(t)
+        return ran
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the heap (bounded by ``max_events`` if given)."""
+        ran = 0
+        while self.step():
+            ran += 1
+            if max_events is not None and ran >= max_events:
+                break
+        return ran

@@ -1,9 +1,12 @@
 """Tests for the lossy message-passing network."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.comm import Network
+from repro.telemetry import Telemetry, set_telemetry
 
 
 class TestSendRecv:
@@ -76,11 +79,47 @@ class TestFailureInjection:
         assert net.drop_log.count(dst=1) == 2
 
     def test_invalid_drop_prob(self):
-        with pytest.raises(ValueError):
-            Network(2, drop_prob=1.0)
-        net = Network(2)
+        # the endpoints 0.0 and 1.0 are valid in both the constructor and
+        # the per-link override (a prob-1.0 link is a dead link)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                Network(2, drop_prob=bad)
+        net = Network(2, drop_prob=1.0)
         with pytest.raises(ValueError):
             net.set_link_drop_prob(0, 1, -0.1)
+        with pytest.raises(ValueError):
+            net.set_link_drop_prob(0, 1, 1.1)
+        net.set_link_drop_prob(0, 1, 1.0)  # endpoint accepted
+
+    def test_fully_dead_network_drops_everything(self):
+        net = Network(2, drop_prob=1.0, seed=0)
+        assert not any(net.send(0, 1, "t", i) for i in range(50))
+        assert net.drop_log.count() == 50
+        assert net.recv(1, 0, "t") is None
+        assert net.total_bytes() == 0
+
+    def test_blocked_link_drops_without_rng(self):
+        # Two networks, same seed: blocking a link must not consume drop
+        # draws, so the other link's drop pattern is unchanged.
+        a = Network(3, drop_prob=0.5, seed=9)
+        b = Network(3, drop_prob=0.5, seed=9)
+        b.block_link(0, 1)
+        pattern_a = [a.send(0, 2, "t", i) for i in range(40)]
+        for i in range(40):
+            assert not b.send(0, 1, "t", i)
+        pattern_b = [b.send(0, 2, "t", i) for i in range(40)]
+        assert pattern_a == pattern_b
+        b.unblock_link(0, 1)
+        assert b.pending(1, 0, "t") == 0  # blocked sends never queued
+
+    def test_set_blocked_links_replaces(self):
+        net = Network(3)
+        net.block_link(0, 1)
+        net.set_blocked_links({(1, 2)})
+        assert net.send(0, 1, "t", 1)  # old block lifted
+        assert not net.send(1, 2, "t", 1)
+        with pytest.raises(ValueError):
+            net.set_blocked_links({(0, 9)})
 
 
 class TestCollectives:
@@ -135,3 +174,44 @@ class TestAccounting:
         net.send(0, 1, "g", 1)
         net.recv(1, 0, "g")
         assert net.messages_delivered == 1
+
+    def test_unknown_payload_type_falls_back_to_getsizeof(self):
+        class Opaque:
+            pass
+
+        net = Network(2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            net.send(0, 1, "g", Opaque())
+            net.send(0, 1, "g", Opaque())  # second send: no new warning
+        fallback = [w for w in caught if "byte accounting" in str(w.message)]
+        assert len(fallback) == 1
+        assert issubclass(fallback[0].category, RuntimeWarning)
+        # sys.getsizeof is never 0 for a real object
+        assert net.total_bytes() > 0
+
+
+class TestTelemetryCounters:
+    """comm.* counters mirror the network's own accounting."""
+
+    def _fresh_hub(self):
+        tele = Telemetry()
+        previous = set_telemetry(tele)
+        return tele, previous
+
+    def test_bytes_drops_delivered_counters(self):
+        tele, previous = self._fresh_hub()
+        try:
+            net = Network(3, seed=0)
+            net.set_link_drop_prob(0, 2, 1.0)
+            net.send(0, 1, "g", np.zeros(10))  # 80 bytes, accepted
+            net.send(0, 2, "g", np.zeros(10))  # dropped
+            net.block_link(1, 2)
+            net.send(1, 2, "g", 1)  # blocked => dropped
+            net.recv(1, 0, "g")
+            counters = tele.snapshot()["counters"]
+            assert counters["comm.bytes_sent"] == 80
+            assert counters["comm.drops"] == 2
+            assert counters["comm.messages_delivered"] == 1
+        finally:
+            set_telemetry(previous)

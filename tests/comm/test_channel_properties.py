@@ -66,3 +66,51 @@ def test_tag_isolation(tags, seed):
         while (msg := net.recv(1, 0, tag)) is not None:
             got.append(msg.payload)
         assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_nodes=st.integers(2, 8),
+    sizes=st.lists(st.integers(1, 40), min_size=1, max_size=8),
+    seed=st.integers(0, 1000),
+)
+def test_collective_byte_accounting_equals_per_link_sum(n_nodes, sizes, seed):
+    """bcast/scatter/gather account exactly the sum of per-link sends."""
+    net = Network(n_nodes, seed=seed)
+    others = list(range(1, n_nodes))
+    expected = 0
+    for size in sizes:
+        net.bcast(0, others, "b", np.zeros(size))
+        expected += 8 * size * len(others)
+        net.scatter(0, {d: np.zeros(size + d) for d in others}, "s")
+        expected += sum(8 * (size + d) for d in others)
+    for d in others:
+        net.send(d, 0, "g", np.zeros(3))
+        expected += 24
+    net.gather(0, others, "g")  # receiving must not change accounting
+    assert net.total_bytes() == expected
+    assert net.total_bytes() == sum(net.bytes_sent.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    # interleaved sends over several (src, tag) lanes into one dst
+    lanes=st.lists(
+        st.tuples(st.integers(0, 2), st.sampled_from(["x", "y"])),
+        min_size=1,
+        max_size=40,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_per_link_tag_fifo_under_interleaving(lanes, seed):
+    """FIFO holds per (src, tag) lane no matter how sends interleave."""
+    net = Network(4, seed=seed)
+    sent: dict[tuple[int, str], list[int]] = {}
+    for i, (src, tag) in enumerate(lanes):
+        assert net.send(src, 3, tag, i)
+        sent.setdefault((src, tag), []).append(i)
+    for (src, tag), expected in sent.items():
+        got = []
+        while (msg := net.recv(3, src, tag)) is not None:
+            got.append(msg.payload)
+        assert got == expected

@@ -11,7 +11,8 @@ class TestRunFigure:
     def test_all_figures_registered(self):
         paper = [f"fig{i:02d}" for i in range(4, 15)]
         extensions = ["ext-comm", "ext-fault", "ext-noniid"]
-        assert sorted(FIGURES) == sorted(paper + extensions)
+        sims = ["sim-churn", "sim-stragglers"]
+        assert sorted(FIGURES) == sorted(paper + extensions + sims)
 
     def test_extension_fast_runs(self):
         result, rows = run_figure("ext-fault", fast=True)

@@ -1,0 +1,52 @@
+"""Tests for the simulation-scenario experiment drivers."""
+
+from repro.experiments.registry import FIGURES
+
+
+class TestSimChurn:
+    def test_fast_run_shape_and_fault_coverage(self):
+        result, rows = FIGURES["sim-churn"].run(fast=True)
+        sched = result["schedule"]
+        R = len(result["uncertain_per_round"])
+        assert R == len(result["durations_s"])
+        # the schedule fits inside the (fast) round budget
+        assert 0 < sched["worker_away"][0] < sched["server_down"][1] <= R
+        # the server outage shows up as an uncertain-event spike
+        assert (
+            result["mean_uncertain_during_outage"]
+            > result["mean_uncertain_elsewhere"]
+        )
+        for name in ("churned", "stable"):
+            assert len(result["reputations"][name]) > 0
+            assert len(result["cumulative_rewards"][name]) > 0
+        assert rows and "churn" in rows[0]
+
+    def test_deterministic_across_runs(self):
+        spec = FIGURES["sim-churn"]
+        r1, _ = spec.run(fast=True)
+        r2, _ = spec.run(fast=True)
+        assert r1["uncertain_per_round"] == r2["uncertain_per_round"]
+        assert r1["durations_s"] == r2["durations_s"]
+        assert r1["reputations"] == r2["reputations"]
+
+
+class TestSimStragglers:
+    def test_fast_run_round_time_grows_with_rate(self):
+        result, rows = FIGURES["sim-stragglers"].run(fast=True)
+        sweep = result["sweep"]
+        rates = sorted(sweep)
+        assert len(rates) >= 2
+        durations = [sweep[r]["mean_duration_s"] for r in rates]
+        assert durations == sorted(durations)
+        assert durations[0] < durations[-1]
+        # the deadline caps every round
+        for r in rates:
+            assert sweep[r]["max_duration_s"] <= result["round_timeout_s"] + 1e-9
+        assert rows and "straggler" in rows[0]
+
+    def test_zero_rate_has_no_stragglers_or_misses(self):
+        result, _ = FIGURES["sim-stragglers"].run(fast=True)
+        base = result["sweep"][min(result["sweep"])]
+        assert base["stragglers_per_round"] == 0.0
+        assert base["late_per_round"] == 0.0
+        assert base["uncertain_per_round"] == 0.0

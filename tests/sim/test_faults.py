@@ -1,0 +1,63 @@
+"""Tests for the declarative fault scenarios."""
+
+import pytest
+
+from repro.sim import FaultScenario, LatencyConfig
+
+
+class TestValidation:
+    def test_defaults_are_null(self):
+        assert FaultScenario().is_null
+        assert FaultScenario.none().is_null
+
+    def test_any_fault_breaks_nullness(self):
+        assert not FaultScenario(latency=LatencyConfig()).is_null
+        assert not FaultScenario(round_timeout_s=1.0).is_null
+        assert not FaultScenario(straggler_rate=0.1).is_null
+        assert not FaultScenario(churn=((0, 1, "leave"),)).is_null
+        assert not FaultScenario(partitions=((0, 1, (0,), (1,)),)).is_null
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FaultScenario(round_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            FaultScenario(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultScenario(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultScenario(straggler_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultScenario(straggler_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultScenario(churn=((0, 1, "explode"),))
+        with pytest.raises(ValueError):
+            FaultScenario(partitions=((3, 1, (0,), (1,)),))
+        with pytest.raises(ValueError):
+            FaultScenario(partitions=((0, 2, (0, 1), (1, 2)),))  # overlap
+
+
+class TestSchedules:
+    def test_churn_at_filters_by_round(self):
+        s = FaultScenario(
+            churn=((2, 5, "leave"), (4, 5, "join"), (2, 3, "leave"))
+        )
+        assert s.churn_at(2) == [(5, "leave"), (3, "leave")]
+        assert s.churn_at(4) == [(5, "join")]
+        assert s.churn_at(0) == []
+
+    def test_partition_links_window_and_symmetry(self):
+        s = FaultScenario(partitions=((1, 3, (0, 1), (2,)),))
+        assert s.partition_links(0, 4) == set()
+        assert s.partition_links(1, 4) == {(0, 2), (2, 0), (1, 2), (2, 1)}
+        assert s.partition_links(2, 4) == s.partition_links(1, 4)
+        assert s.partition_links(3, 4) == set()  # end-exclusive
+
+    def test_partition_links_ignores_out_of_range_ranks(self):
+        s = FaultScenario(partitions=((0, 1, (0,), (9,)),))
+        assert s.partition_links(0, 4) == set()
+
+    def test_retry_delay_backs_off_exponentially(self):
+        s = FaultScenario(max_retries=3, retry_backoff_s=0.1, backoff_factor=2.0)
+        assert s.retry_delay(0) == pytest.approx(0.1)
+        assert s.retry_delay(1) == pytest.approx(0.2)
+        assert s.retry_delay(2) == pytest.approx(0.4)

@@ -1,0 +1,161 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero_and_only_events_advance_it(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+        sim.schedule(2.5, lambda: None)
+        assert sim.now == 0.0
+        sim.step()
+        assert sim.now == 2.5
+
+    def test_advance_to_moves_forward(self):
+        sim = Simulator()
+        sim.advance_to(3.0)
+        assert sim.now == 3.0
+        with pytest.raises(ValueError):
+            sim.advance_to(1.0)
+
+    def test_advance_to_refuses_to_jump_pending_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.advance_to(5.0)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(1.0, order.append, name)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_schedule_in_the_past_raises(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancel_is_lazy_but_effective(self):
+        sim = Simulator()
+        ran = []
+        eid = sim.schedule(1.0, ran.append, "x")
+        sim.schedule(2.0, ran.append, "y")
+        sim.cancel(eid)
+        sim.run()
+        assert ran == ["y"]
+        assert sim.now == 2.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append((sim.now, n))
+            if n:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert seen == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+class TestActors:
+    def test_generator_actor_yields_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield 1.5
+            trace.append(("mid", sim.now))
+            yield 0.5
+            trace.append(("end", sim.now))
+
+        sim.spawn(proc(), delay=1.0)
+        sim.run()
+        assert trace == [("start", 1.0), ("mid", 2.5), ("end", 3.0)]
+
+    def test_actor_without_yield_runs_once(self):
+        sim = Simulator()
+        ran = []
+
+        def proc():
+            ran.append(sim.now)
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        sim.spawn(proc())
+        sim.run()
+        assert ran == [0.0]
+
+
+class TestExecution:
+    def test_peek_and_idle(self):
+        sim = Simulator()
+        assert sim.idle() and sim.peek() is None
+        sim.schedule(4.0, lambda: None)
+        assert not sim.idle() and sim.peek() == 4.0
+
+    def test_run_batch_runs_one_timestamp_only(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(1.0, order.append, "b")
+        sim.schedule(2.0, order.append, "later")
+        assert sim.run_batch() == 2
+        assert order == ["a", "b"]
+        assert sim.now == 1.0
+
+    def test_run_batch_includes_same_time_events_scheduled_during_batch(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, order.append, "child"))
+        sim.schedule(1.0, order.append, "sibling")
+        sim.run_batch()
+        assert order == ["sibling", "child"]
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, ran.append, 1)
+        sim.schedule(5.0, ran.append, 5)
+        assert sim.run_until(3.0) == 1
+        assert ran == [1] and sim.now == 3.0
+
+    def test_run_bounded_by_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.events_run == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_stream(self):
+        a, b = Simulator(seed=42), Simulator(seed=42)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_composite_seed_accepted(self):
+        sim = Simulator(seed=(7, 3, 0x51D))
+        assert 0.0 <= sim.rng.random() < 1.0

@@ -79,6 +79,53 @@ class TestTraceDeterminism:
         assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
 
 
+def run_fault_traced(path):
+    """A seeded fault scenario (latency + stragglers + churn) under trace."""
+    from repro.experiments.sim_churn import default_config as churn_config
+    from repro.experiments.sim_churn import run as churn_run
+
+    tele = Telemetry(
+        sinks=[MemorySink(), JsonlSink(path)], clock=TickClock()
+    )
+    previous = set_telemetry(tele)
+    try:
+        churn_run(
+            churn_config().scaled(
+                rounds=6, eval_every=6, samples_per_worker=40, test_samples=50
+            )
+        )
+    finally:
+        tele.close()
+        set_telemetry(previous)
+
+
+class TestFaultScenarioTraceDeterminism:
+    """Same seed + scenario => byte-identical JSONL trace (tentpole contract)."""
+
+    @pytest.fixture(scope="class")
+    def fault_traces(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("fault-traces")
+        paths = (root / "a.jsonl", root / "b.jsonl")
+        for path in paths:
+            run_fault_traced(path)
+        return paths
+
+    def test_fault_traces_are_byte_identical(self, fault_traces):
+        a, b = (path.read_bytes() for path in fault_traces)
+        assert len(a) > 0
+        assert a == b
+
+    def test_trace_carries_sim_round_events(self, fault_traces):
+        from repro.telemetry import read_trace
+
+        events = read_trace(fault_traces[0])
+        sim_rounds = [ev for ev in events if ev["type"] == "sim.round"]
+        assert sim_rounds, "simulated run emitted no sim.round events"
+        assert all("duration_s" in ev["data"] for ev in sim_rounds)
+        # the churn scenario actually exercised the fault paths
+        assert any(ev["data"]["offline"] for ev in sim_rounds)
+
+
 class TestSummarizeCli:
     def test_renders_round_table_and_phase_breakdown(self, traces, capsys):
         assert telemetry_cli(["summarize", str(traces[0])]) == 0
