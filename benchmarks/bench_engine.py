@@ -195,6 +195,78 @@ def telemetry_overhead(
     }
 
 
+def monitor_overhead(
+    num_workers: int,
+    dim: int,
+    num_servers: int,
+    rounds: int,
+    seed: int = 0,
+    samples: int = 600,
+) -> dict:
+    """Wall-clock with a health monitor attached vs a bare enabled hub.
+
+    Same alternating-rounds protocol as :func:`telemetry_overhead`, with
+    two deliberate differences. First, the per-round ``flush()`` sits
+    *inside* the timed region on both sides: the monitor's rule engine
+    runs at flush boundaries (that is exactly where the trainer drives
+    it), so that is where its cost must be charged — flushing outside
+    the timer would measure an idle sink. Second, the overhead is the
+    *median of paired per-iteration differences* (on minus off within
+    the same alternating iteration) rather than a ratio of independent
+    per-side floors: the true monitor cost is tens of microseconds per
+    round, below the run-to-run jitter of two separately-estimated
+    floors, and pairing cancels the drift both sides share. The
+    synthetic rounds include deviating workers, so the margin rules
+    genuinely fire (and latch) — the alert path is part of the measured
+    cost, not just the silent fast path.
+    """
+    from repro.monitor import Monitor, MonitorConfig
+
+    contexts = [
+        make_round(num_workers, dim, num_servers, t, seed=seed, uncertain=1)
+        for t in range(rounds)
+    ]
+    hubs = {"on": Telemetry(), "off": Telemetry()}
+    Monitor(MonitorConfig()).install(hubs["on"])
+    mechs = {}
+    for key, hub in hubs.items():
+        mech = make_mechanism("fifl", threshold=0.0, gamma=0.2,
+                              engine="vectorized")
+        mech.profiler = hub
+        mechs[key] = mech
+    times: dict[str, list[float]] = {"on": [], "off": []}
+    for i in range(samples + 10):
+        ctx = contexts[i % rounds]
+        order = ("on", "off") if i % 2 else ("off", "on")
+        for key in order:
+            mech = mechs[key]
+            hub = hubs[key]
+            t0 = time.perf_counter()
+            mech.process_round(ctx)
+            hub.flush()
+            times[key].append(time.perf_counter() - t0)
+
+    def floor(vals: list[float], k: int = 20) -> float:
+        return sum(sorted(vals[10:])[:k]) / k
+
+    deltas = sorted(
+        on - off for on, off in zip(times["on"][10:], times["off"][10:])
+    )
+    mid = len(deltas) // 2
+    delta = (
+        deltas[mid] if len(deltas) % 2
+        else 0.5 * (deltas[mid - 1] + deltas[mid])
+    )
+    per_round = floor(times["off"])
+    disabled = per_round * rounds
+    return {
+        "num_workers": num_workers,
+        "enabled_s": (per_round + delta) * rounds,
+        "disabled_s": disabled,
+        "overhead_pct": 100.0 * delta / max(per_round, 1e-12),
+    }
+
+
 def run_benchmark(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     dim: int = DEFAULT_DIM,
@@ -223,6 +295,9 @@ def run_benchmark(
         "seed": seed,
         "by_size": by_size,
         "telemetry_overhead": telemetry_overhead(
+            overhead_n, dim, num_servers, rounds, seed
+        ),
+        "monitor_overhead": monitor_overhead(
             overhead_n, dim, num_servers, rounds, seed
         ),
     }
@@ -255,6 +330,13 @@ def format_report(result: dict) -> list[str]:
             f"telemetry overhead at N={ov['num_workers']} (in-memory sink vs "
             f"disabled): on={ov['enabled_s']:.4f}s off={ov['disabled_s']:.4f}s "
             f"({ov['overhead_pct']:+.1f}%)"
+        )
+    mv = result.get("monitor_overhead")
+    if mv:
+        rows.append(
+            f"monitor overhead at N={mv['num_workers']} (rule engine vs bare "
+            f"hub): on={mv['enabled_s']:.4f}s off={mv['disabled_s']:.4f}s "
+            f"({mv['overhead_pct']:+.1f}%)"
         )
     return rows
 

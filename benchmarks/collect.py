@@ -1,0 +1,261 @@
+"""Collect per-PR benchmark headlines into ``BENCH_trajectory.json``.
+
+Every performance-focused PR records its benchmark manifests as
+``benchmarks/BENCH_<name>.json``. This tool folds the *headline* metric
+of each manifest into a single trajectory file at the repository root,
+so the performance story across the PR stack is one diff-able document:
+
+    python benchmarks/collect.py --record --label PR5
+    python benchmarks/collect.py --check
+    python benchmarks/collect.py --show
+
+``--record`` extracts the current headline metrics from each
+``BENCH_*.json`` and appends one row per bench (keyed by bench name,
+labelled with ``--label``; re-recording an existing label replaces its
+row in place). ``--check`` recomputes the same headlines and fails
+(exit 1) when any tracked metric regressed beyond tolerance relative to
+the *last recorded row* — the CI guard that a PR cannot silently
+degrade a headline it inherited. The check is direction-aware: speedups
+must not fall, overheads must not rise. Near-zero overhead percentages
+get an absolute slack floor (``ABS_SLACK``) so timing jitter on a
+sub-1% number is not flagged as a 20% "regression".
+
+No benchmark is *run* here: the tool only reads the committed
+manifests, so the CI step is cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+TRAJECTORY = REPO_ROOT / "BENCH_trajectory.json"
+
+#: default relative tolerance for --check (fraction of the baseline)
+DEFAULT_TOLERANCE = 0.20
+#: absolute slack (same unit as the metric) added on top of the relative
+#: tolerance for percentage metrics that legitimately sit near zero
+ABS_SLACK = {"pct": 2.0}
+
+
+def _max_size_entry(manifest: dict) -> tuple[str, dict]:
+    """Largest federation size in a by_size manifest (headline scale)."""
+    by_size = manifest.get("by_size") or {}
+    if not by_size:
+        raise KeyError("manifest has no by_size block")
+    key = max(by_size, key=int)
+    return key, by_size[key]
+
+
+def extract_engine(manifest: dict) -> dict:
+    """Headlines of BENCH_engine.json (round-engine benchmark)."""
+    n, entry = _max_size_entry(manifest)
+    metrics = {
+        f"speedup_total_n{n}": {
+            "value": float(entry["speedup_total"]), "better": "higher",
+        },
+        f"speedup_kernels_n{n}": {
+            "value": float(entry["speedup_kernels"]), "better": "higher",
+        },
+    }
+    for key in ("telemetry_overhead", "monitor_overhead"):
+        block = manifest.get(key)
+        if block is not None:
+            metrics[f"{key}_pct"] = {
+                "value": float(block["overhead_pct"]),
+                "better": "lower", "unit": "pct",
+            }
+    return metrics
+
+
+def extract_local_step(manifest: dict) -> dict:
+    """Headlines of BENCH_local_step.json (fleet local-training)."""
+    n, entry = _max_size_entry(manifest)
+    return {
+        f"speedup_local_n{n}": {
+            "value": float(entry["speedup_local"]), "better": "higher",
+        },
+        f"speedup_total_n{n}": {
+            "value": float(entry["speedup_total"]), "better": "higher",
+        },
+    }
+
+
+def extract_sim(manifest: dict) -> dict:
+    """Headlines of BENCH_sim.json (discrete-event round simulator)."""
+    return {
+        "sim_overhead_pct": {
+            "value": float(manifest["overhead_pct"]),
+            "better": "lower", "unit": "pct",
+        },
+        "bitwise_identical": {
+            "value": bool(manifest["bitwise_identical"]), "better": "exact",
+        },
+    }
+
+
+EXTRACTORS = {
+    "engine": extract_engine,
+    "local_step": extract_local_step,
+    "sim": extract_sim,
+}
+
+
+def collect_current(bench_dir: Path = BENCH_DIR) -> dict[str, dict]:
+    """Headline metrics per bench name, from the committed manifests."""
+    current: dict[str, dict] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        extractor = EXTRACTORS.get(name)
+        if extractor is None:
+            # unknown manifests ride along untracked, but say so — a
+            # silently-skipped bench reads as "covered" when it is not
+            print(f"[collect] no extractor for {path.name}; skipping",
+                  file=sys.stderr)
+            continue
+        manifest = json.loads(path.read_text())
+        current[name] = extractor(manifest)
+    return current
+
+
+def load_trajectory(path: Path = TRAJECTORY) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"benches": {}}
+
+
+def record(label: str, path: Path = TRAJECTORY,
+           bench_dir: Path = BENCH_DIR) -> dict:
+    """Fold the current headlines into the trajectory under ``label``."""
+    traj = load_trajectory(path)
+    benches = traj.setdefault("benches", {})
+    for name, metrics in collect_current(bench_dir).items():
+        rows = benches.setdefault(name, [])
+        row = {"label": label, "metrics": metrics}
+        for i, existing in enumerate(rows):
+            if existing.get("label") == label:
+                rows[i] = row
+                break
+        else:
+            rows.append(row)
+    path.write_text(json.dumps(traj, indent=2, sort_keys=True) + "\n")
+    return traj
+
+
+def _allowed_delta(base: float, spec: dict, tolerance: float) -> float:
+    slack = ABS_SLACK.get(spec.get("unit"), 0.0)
+    return max(tolerance * abs(base), slack)
+
+
+def check(tolerance: float = DEFAULT_TOLERANCE, path: Path = TRAJECTORY,
+          bench_dir: Path = BENCH_DIR) -> list[str]:
+    """Compare current headlines against the last recorded row.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    """
+    traj = load_trajectory(path)
+    benches = traj.get("benches", {})
+    problems: list[str] = []
+    for name, metrics in collect_current(bench_dir).items():
+        rows = benches.get(name)
+        if not rows:
+            problems.append(
+                f"{name}: no recorded trajectory row "
+                f"(run collect.py --record --label <PR>)"
+            )
+            continue
+        baseline = rows[-1]
+        base_metrics = baseline.get("metrics", {})
+        for metric, spec in metrics.items():
+            base_spec = base_metrics.get(metric)
+            if base_spec is None:
+                continue  # metric is new in this PR; nothing to regress
+            value, base = spec["value"], base_spec["value"]
+            better = spec.get("better", "higher")
+            if better == "exact":
+                if value != base:
+                    problems.append(
+                        f"{name}.{metric}: {value!r} != recorded {base!r}"
+                    )
+                continue
+            delta = _allowed_delta(base, spec, tolerance)
+            if better == "higher" and value < base - delta:
+                problems.append(
+                    f"{name}.{metric}: {value:.4g} fell below recorded "
+                    f"{base:.4g} (allowed slack {delta:.4g})"
+                )
+            elif better == "lower" and value > base + delta:
+                problems.append(
+                    f"{name}.{metric}: {value:.4g} rose above recorded "
+                    f"{base:.4g} (allowed slack {delta:.4g})"
+                )
+    return problems
+
+
+def show(path: Path = TRAJECTORY) -> list[str]:
+    """Render the trajectory as per-bench metric tables."""
+    traj = load_trajectory(path)
+    lines: list[str] = []
+    for name, rows in sorted(traj.get("benches", {}).items()):
+        lines.append(f"=== {name}")
+        for row in rows:
+            parts = []
+            for metric, spec in sorted(row.get("metrics", {}).items()):
+                v = spec["value"]
+                parts.append(
+                    f"{metric}={v:.4g}" if isinstance(v, float)
+                    else f"{metric}={v}"
+                )
+            lines.append(f"  {row.get('label', '?'):<8} " + "  ".join(parts))
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", action="store_true",
+        help="fold current BENCH_*.json headlines into the trajectory",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="row label for --record (e.g. PR5); required with --record",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail if current headlines regressed vs the last row",
+    )
+    parser.add_argument(
+        "--show", action="store_true", help="print the trajectory tables"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative regression tolerance for --check (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.record or args.check or args.show):
+        parser.error("pass --record, --check, or --show")
+
+    if args.record:
+        if not args.label:
+            parser.error("--record requires --label")
+        record(args.label)
+        print(f"[collect] recorded row {args.label!r} in {TRAJECTORY}")
+    if args.check:
+        problems = check(tolerance=args.tolerance)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION {p}", file=sys.stderr)
+            return 1
+        print("[collect] headline metrics within tolerance")
+    if args.show:
+        for line in show():
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,6 +138,7 @@ class Network:
         self.in_flight = 0
         self.drop_log = DropLog()
         self.bytes_sent: dict[tuple[int, int], int] = defaultdict(int)
+        self.messages_sent = 0
         self.messages_delivered = 0
 
     # -- configuration -------------------------------------------------------
@@ -192,6 +193,8 @@ class Network:
         self._check_rank(src)
         self._check_rank(dst)
         tele = get_telemetry()
+        self.messages_sent += 1
+        tele.count("comm.messages_sent")
         if (src, dst) in self._blocked:
             self.drop_log.drops.append((src, dst, tag))
             tele.count("comm.drops")
@@ -279,4 +282,5 @@ class Network:
         """Clear byte/drop accounting but keep queued messages."""
         self.bytes_sent.clear()
         self.drop_log = DropLog()
+        self.messages_sent = 0
         self.messages_delivered = 0

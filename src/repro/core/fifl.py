@@ -618,6 +618,9 @@ class FIFLMechanism:
                     "margin_min": float(margins.min()) if margins.size else None,
                     "margin_max": float(margins.max()) if margins.size else None,
                     "reputation_delta": {"workers": ids, "delta": rep_delta},
+                    "rep_min": float(rep_vals.min()) if rep_vals.size else None,
+                    "rep_max": float(rep_vals.max()) if rep_vals.size else None,
+                    "budget": self.config.budget_per_round,
                     "rewards": rewards,
                     "reward_gini": reward_gini,
                     "share_entropy": reward_entropy,

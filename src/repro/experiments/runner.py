@@ -19,6 +19,11 @@ and the span-timing table) and printed in the paper's row format.
 ``--all`` keeps going when a driver fails, prints a per-figure pass/fail
 summary, and exits non-zero if anything failed.
 
+Every figure runs under a fresh :class:`repro.monitor.Monitor`: its
+alert summary lands in the ``_meta.alerts`` block, post-mortem dumps go
+next to the JSON results, and ``--strict`` turns any alert into a
+non-zero exit (the CI clean-run gate).
+
 Set ``REPRO_TRACE=/path/to/trace.jsonl`` to also stream the full
 telemetry trace (spans, mechanism metrics, sim.round events) to a JSONL
 file; render it with ``python -m repro.telemetry summarize``.
@@ -34,6 +39,7 @@ import time
 import traceback
 from pathlib import Path
 
+from ..monitor import Monitor, MonitorConfig
 from ..telemetry import (
     JsonlSink,
     MemorySink,
@@ -88,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list figure ids")
     parser.add_argument("--fast", action="store_true", help="reduced scales")
     parser.add_argument("--out", default="", help="directory for JSON results")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if the health monitor raises any alert",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -117,9 +127,21 @@ def main(argv: list[str] | None = None) -> int:
 
     telemetry = get_telemetry()
     status: dict[str, str] = {}
+    total_alerts = 0
     for fig_id in wanted:
         before = telemetry.snapshot()
         seq_before = telemetry.seq
+        # A fresh health monitor per figure: it watches the hub for the
+        # figure's duration (never strict here — the figure must finish
+        # so its alerts can be reported; --strict gates the exit code).
+        monitor = Monitor(MonitorConfig(
+            postmortem_dir=str(out_dir) if out_dir is not None else None,
+            run_id=fig_id,
+        ))
+        # drain events deferred before this figure so the monitor only
+        # sees (and attributes alerts to) this figure's slice
+        telemetry.flush()
+        monitor.install(telemetry)
         t0 = time.time()
         try:
             result, rows = run_figure(fig_id, fast=args.fast)
@@ -127,12 +149,27 @@ def main(argv: list[str] | None = None) -> int:
             status[fig_id] = "FAIL"
             print(f"\n=== {fig_id} FAILED ===", file=sys.stderr)
             traceback.print_exc()
+            telemetry.flush()
+            monitor.dump_postmortem("figure raised")
+            monitor.uninstall()
+            total_alerts += len(monitor.alerts)
             continue
+        finally:
+            telemetry.flush()
+            monitor.uninstall()
         elapsed = time.time() - t0
         status[fig_id] = "ok"
+        total_alerts += len(monitor.alerts)
         print(f"\n=== {fig_id} ({elapsed:.1f}s) ===")
         for row in rows:
             print(row)
+        if monitor.alerts:
+            print(
+                f"[{fig_id}: {len(monitor.alerts)} monitor alert(s): "
+                + ", ".join(sorted({a.rule for a in monitor.alerts}))
+                + "]",
+                file=sys.stderr,
+            )
         if out_dir is not None:
             payload = _jsonable(result)
             # This figure's slice of the event stream (seq is monotonic,
@@ -146,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
                 "elapsed_s": elapsed,
                 "profile": profile_delta(before, telemetry.snapshot()),
                 "trace": trace_summary(fig_events),
+                "alerts": monitor.alerts_summary(),
             }
             path = out_dir / f"{fig_id}.json"
             path.write_text(json.dumps(payload, indent=2))
@@ -156,7 +194,16 @@ def main(argv: list[str] | None = None) -> int:
         print("\n--- summary ---")
         for fig_id in wanted:
             print(f"{fig_id:<12} {status[fig_id]}")
-    return 1 if failed else 0
+    if failed:
+        return 1
+    if args.strict and total_alerts:
+        print(
+            f"--strict: {total_alerts} monitor alert(s) across "
+            f"{len(wanted)} figure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -133,6 +133,7 @@ class FederatedTrainer:
         reselect_every: int = 0,
         local_engine: str = "fleet",
         scenario: FaultScenario | None = None,
+        monitor=None,
     ):
         if not workers:
             raise ValueError("need at least one worker")
@@ -197,6 +198,12 @@ class FederatedTrainer:
         self._fleet: FleetLocalEngine | None = None
         if scenario is not None:
             self._sim_runner = SimRoundRunner(self, scenario)
+        # Optional repro.monitor.Monitor: installed as a telemetry sink
+        # for the duration of run(), with a flush after every round so
+        # invariants are checked at round granularity, and a post-mortem
+        # dump if training raises. The monitor never emits into the hub,
+        # so attaching it does not change the trace.
+        self.monitor = monitor
 
     @property
     def num_servers(self) -> int:
@@ -413,6 +420,12 @@ class FederatedTrainer:
         history = TrainingHistory()
         saved_test = self.test_data
         before = self.profiler.snapshot()
+        monitor = self.monitor
+        if monitor is not None:
+            # drain events deferred before this run so the monitor only
+            # sees (and attributes alerts to) this training run's stream
+            self.profiler.flush()
+            monitor.install(self.profiler)
         try:
             with self.profiler.span(
                 "trainer.run",
@@ -425,12 +438,32 @@ class FederatedTrainer:
                     # Skip expensive evaluation on non-reporting rounds.
                     self.test_data = saved_test if (t % eval_every == 0 or t == num_rounds - 1) else None
                     history.rounds.append(self.run_round(t))
+                    if monitor is not None:
+                        # Materialize this round's deferred events so the
+                        # watchdog sees them before the next round starts
+                        # (strict mode raises MonitorError from here).
+                        self.profiler.flush()
                     if self.reselect_every and (t + 1) % self.reselect_every == 0:
                         self._reselect_servers()
+        except BaseException as exc:
+            if monitor is not None:
+                # Crash path: capture the flight-recorder ring. A strict
+                # monitor may raise again during this flush — the alert
+                # is already recorded, the original exception wins.
+                from ..monitor.alerts import MonitorError
+
+                try:
+                    self.profiler.flush()
+                except MonitorError:
+                    pass
+                monitor.dump_postmortem(f"exception: {type(exc).__name__}")
+            raise
         finally:
             # An exception mid-run must not leave the eval-toggling hack
             # permanently stuck with test_data=None.
             self.test_data = saved_test
+            if monitor is not None:
+                monitor.uninstall()
         # Per-run phase timings: the delta against whatever the (shared)
         # profiler had already accumulated before this run started.
         history.profile = profile_delta(before, self.profiler.snapshot())

@@ -88,4 +88,25 @@ def audit_reputation(
                     recomputed=recomputed,
                 )
             )
+    from ..telemetry.core import get_telemetry
+
+    get_telemetry().event(
+        "ledger.audit",
+        {
+            "worker": worker,
+            "rounds_checked": report.rounds_checked,
+            "chain_intact": report.chain_intact,
+            "clean": report.clean,
+            "findings": [
+                {
+                    "block_index": f.block_index,
+                    "round": f.round_idx,
+                    "signer": f.signer,
+                    "recorded": f.recorded,
+                    "recomputed": f.recomputed,
+                }
+                for f in report.findings
+            ],
+        },
+    )
     return report

@@ -149,15 +149,35 @@ class Blockchain:
         return self._blocks[-1].hash if self._blocks else GENESIS_HASH
 
     def append(self, payload: Any, signer: str) -> Block:
-        """Sign ``payload`` as ``signer`` and chain it onto the head."""
+        """Sign ``payload`` as ``signer`` and chain it onto the head.
+
+        Each commit also lands in the telemetry stream as a
+        ``ledger.commit`` event (hashes + digest, never the payload), so
+        chain growth is audit-visible in traces and the monitor can
+        check linkage online. Additive to the v1 schema.
+        """
         identity = self.identity(signer)
         canonical = canonicalize(payload)
         index = len(self._blocks)
         prev_hash = self.head_hash()
-        signature = identity.sign(f"{index}:{prev_hash}:{payload_digest(canonical)}")
+        digest = payload_digest(canonical)
+        signature = identity.sign(f"{index}:{prev_hash}:{digest}")
         block_hash = Block.compute_hash(index, canonical, signer, signature, prev_hash)
         block = Block(index, canonical, signer, signature, prev_hash, block_hash)
         self._blocks.append(block)
+        from ..telemetry.core import get_telemetry
+
+        get_telemetry().event(
+            "ledger.commit",
+            {
+                "index": index,
+                "signer": signer,
+                "prev_hash": prev_hash,
+                "hash": block_hash,
+                "payload_digest": digest,
+                "round": canonical.get("round") if isinstance(canonical, dict) else None,
+            },
+        )
         return block
 
     def verify(self) -> list[int]:

@@ -1,0 +1,121 @@
+"""Deterministic streaming detectors for the anomaly layer.
+
+Both detectors are tiny pure-Python state machines: they consume one
+observation at a time and return a *decision* (fire / stay silent) that
+depends only on the observation history and the fixed thresholds handed
+in at construction. No clocks, no RNG — replaying the same series
+yields the same firing pattern, which is what makes the offline
+``monitor scan`` differential exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+__all__ = ["EwmaDetector", "RateWindow"]
+
+
+class EwmaDetector:
+    """EWMA mean/variance tracker with a z-score firing boundary.
+
+    The detector maintains exponentially-weighted estimates of the mean
+    and variance of a metric series. After ``warmup`` observations it
+    fires when a new observation deviates from the tracked mean by more
+    than ``z_threshold`` standard deviations in the watched
+    ``direction`` ("down", "up", or "both"). ``min_std`` floors the
+    deviation estimate so near-constant series (e.g. a margin that is
+    exactly 0.0 for ten rounds) don't turn float jitter into alerts.
+
+    ``update`` returns the signed z-score when the detector fires and
+    ``None`` otherwise. The triggering observation is *not* folded into
+    the state, so a single outlier can't drag the baseline toward
+    itself and mask a subsequent collapse.
+    """
+
+    __slots__ = (
+        "alpha", "z_threshold", "warmup", "min_std", "direction",
+        "_watch_down", "_watch_up", "n", "mean", "var",
+    )
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        z_threshold: float = 4.0,
+        warmup: int = 5,
+        min_std: float = 0.05,
+        direction: str = "both",
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if direction not in ("down", "up", "both"):
+            raise ValueError(f"direction must be down/up/both, got {direction!r}")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self.direction = direction
+        self._watch_down = direction in ("down", "both")
+        self._watch_up = direction in ("up", "both")
+        self.n = 0
+        self.mean = 0.0
+        self.var = 0.0
+
+    def _fold(self, x: float) -> None:
+        if self.n == 0:
+            self.mean = x
+            self.var = 0.0
+        else:
+            delta = x - self.mean
+            self.mean += self.alpha * delta
+            self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta)
+        self.n += 1
+
+    def update(self, x: float) -> float | None:
+        if not math.isfinite(x):
+            # non-finite values are handled by the invariant layer
+            return None
+        if self.n < self.warmup:
+            self._fold(x)
+            return None
+        std = math.sqrt(self.var)
+        if std < self.min_std:
+            std = self.min_std
+        z = (x - self.mean) / std
+        if (self._watch_down and z < -self.z_threshold) or (
+            self._watch_up and z > self.z_threshold
+        ):
+            return z
+        self._fold(x)
+        return None
+
+
+class RateWindow:
+    """Sliding window of boolean outcomes with a fraction threshold.
+
+    ``update(flag)`` appends one outcome and returns the degraded
+    fraction when (a) at least ``min_count`` outcomes have been seen
+    and (b) the fraction of True outcomes in the last ``window``
+    observations exceeds ``max_frac``; otherwise ``None``.
+    """
+
+    __slots__ = ("window", "min_count", "max_frac", "_buf", "total")
+
+    def __init__(self, window: int = 8, min_count: int = 4, max_frac: float = 0.25):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.min_count = min_count
+        self.max_frac = max_frac
+        self._buf: deque[bool] = deque(maxlen=window)
+        self.total = 0
+
+    def update(self, flag: bool) -> float | None:
+        self._buf.append(bool(flag))
+        self.total += 1
+        if self.total < self.min_count:
+            return None
+        frac = sum(self._buf) / len(self._buf)
+        if frac > self.max_frac:
+            return frac
+        return None

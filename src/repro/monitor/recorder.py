@@ -1,0 +1,77 @@
+"""Flight recorder: bounded event ring + post-mortem dumps.
+
+The recorder keeps the last ``ring_size`` materialized events. When an
+alert fires (or the trainer raises), :meth:`FlightRecorder.dump` writes
+``postmortem-<run>.jsonl``: a header line describing why the dump
+happened and which alerts were active, followed by the ring contents.
+
+Dump encoding is *tolerant*, unlike the canonical trace encoder: a
+post-mortem must never fail because the very anomaly it is capturing
+(say, a NaN gauge) is unencodable — such events are written with their
+offending values stringified.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+from ..telemetry.sinks import _json_default
+from .alerts import Alert
+
+__all__ = ["FlightRecorder"]
+
+
+def _encode_line(obj: dict) -> str:
+    """Canonical encoding, falling back to a repr-everything encoder."""
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"),
+            allow_nan=False, default=_json_default,
+        )
+    except (TypeError, ValueError):
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"), default=repr
+        )
+
+
+class FlightRecorder:
+    """Last-K event ring with JSONL post-mortem dumps."""
+
+    def __init__(self, ring_size: int = 512, out_dir: str | None = None,
+                 run_id: str = "run"):
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.ring: deque[dict] = deque(maxlen=ring_size)
+        self.out_dir = out_dir
+        self.run_id = run_id
+        self.dumped_path: str | None = None
+
+    def record(self, event: dict) -> None:
+        self.ring.append(event)
+
+    def dump(self, reason: str, alerts: list[Alert] | None = None) -> str | None:
+        """Write the post-mortem file; returns its path (None if disabled).
+
+        Only the first dump per recorder is written — the interesting
+        state is the ring at the *first* failure, and later alerts in
+        the same run would otherwise clobber it.
+        """
+        if self.out_dir is None or self.dumped_path is not None:
+            return self.dumped_path
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, f"postmortem-{self.run_id}.jsonl")
+        header = {
+            "type": "postmortem",
+            "run": self.run_id,
+            "reason": reason,
+            "ring_events": len(self.ring),
+            "alerts": [a.to_dict() for a in (alerts or [])],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_encode_line(header) + "\n")
+            for event in self.ring:
+                fh.write(_encode_line(event) + "\n")
+        self.dumped_path = path
+        return path

@@ -337,6 +337,11 @@ class SimRoundRunner:
         if sim_info["offline"]:
             tele.count("sim.offline_worker_rounds", len(sim_info["offline"]))
         tele.gauge("sim.round_duration_s", sim_info["duration_s"])
+        # Cumulative comm counters ride along so the monitor's
+        # byte-accounting invariant can audit the network per round:
+        # delivered + dropped never exceeds attempts, and every counter
+        # is monotone across the trace.
+        net = self.trainer.network
         tele.event(
             "sim.round",
             {
@@ -347,6 +352,12 @@ class SimRoundRunner:
                 "retries": sim_info["retries"],
                 "late": sim_info["late"],
                 "uncertain": sorted(int(w) for w in uncertain),
+                "comm": {
+                    "messages_sent": net.messages_sent,
+                    "delivered": net.messages_delivered,
+                    "dropped": len(net.drop_log.drops),
+                    "bytes_sent": net.total_bytes(),
+                },
             },
         )
 

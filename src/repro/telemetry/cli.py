@@ -50,6 +50,18 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 1
+    except json.JSONDecodeError as exc:
+        # Truncated tail (crashed producer) or not JSONL at all — either
+        # way a clear diagnostic beats a traceback.
+        print(
+            f"trace {args.trace} is not valid JSONL ({exc.msg}); "
+            f"the file may be truncated",
+            file=sys.stderr,
+        )
+        return 1
+    if not events:
+        print(f"trace {args.trace} contains no events", file=sys.stderr)
+        return 1
     bad = [
         ev for ev in events
         if ev.get("v") not in (None, SCHEMA_VERSION)

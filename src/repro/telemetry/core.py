@@ -236,9 +236,13 @@ class Telemetry:
         self.enabled = enabled
         self._stack: list[str] = []
         self._seq = 0
-        # bound ``emit`` methods, refreshed when ``sinks`` changes length
-        # (hot paths loop these instead of re-resolving attributes)
+        # bound ``emit`` methods, refreshed when ``sinks`` changes
+        # (hot paths loop these instead of re-resolving attributes);
+        # ``_sink_cache`` remembers which sink list the cache was built
+        # from, so replacing one sink with another is detected even when
+        # the list length is unchanged
         self._sink_emits = [s.emit for s in self.sinks]
+        self._sink_cache = list(self.sinks)
         self._span_pool: list[_SpanHandle] = []
         # Deferred-emission queue: hot paths append compact records
         # (span tuples, thunks with reserved seq ranges, plain event
@@ -289,8 +293,9 @@ class Telemetry:
         """Materialize queued records and forward them to every sink."""
         if not self._pending:
             return
-        if len(self._sink_emits) != len(self.sinks):
+        if self._sink_cache != self.sinks:
             self._sink_emits = [s.emit for s in self.sinks]
+            self._sink_cache = list(self.sinks)
         emits = self._sink_emits
         # swap the queue out first: thunks may defer/observe re-entrantly
         queue, self._pending = self._pending, []

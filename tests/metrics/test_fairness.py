@@ -90,3 +90,44 @@ class TestRewardFairness:
         g, h = reward_fairness(np.array([1.0, 2.0]), validate=False)
         assert g == pytest.approx(gini([1.0, 2.0]))
         assert h == pytest.approx(share_entropy([1.0, 2.0]))
+
+
+class TestMechanismRewardVectors:
+    """Edge cases of real mechanism reward vectors (S4.4).
+
+    The mechanism clips punishments to zero and calls
+    ``reward_fairness(positive, validate=False)`` every round, so the
+    degenerate vectors below must come back finite — a NaN here would
+    poison the telemetry gauges and the monitor's Gini detector.
+    """
+
+    def test_all_zero_rewards_are_finite(self):
+        # every worker punished: the positive part is the zero vector
+        g, h = reward_fairness(np.zeros(8), validate=False)
+        assert (g, h) == (0.0, 0.0)
+        assert math.isfinite(g) and math.isfinite(h)
+
+    def test_single_worker_is_finite(self):
+        g, h = reward_fairness(np.array([0.7]), validate=False)
+        assert (g, h) == (0.0, 0.0)
+
+    def test_single_worker_zero_reward(self):
+        g, h = reward_fairness(np.array([0.0]), validate=False)
+        assert (g, h) == (0.0, 0.0)
+
+    def test_negative_punishments_rejected_when_validating(self):
+        mixed = np.array([0.5, 0.3, -0.2, -0.6])
+        with pytest.raises(ValueError):
+            gini(mixed)
+        with pytest.raises(ValueError):
+            share_entropy(mixed)
+        with pytest.raises(ValueError):
+            reward_fairness(mixed)
+
+    def test_clip_then_skip_validation_matches_validating_path(self):
+        # the mechanism's pattern: clip punishments, skip re-validation
+        mixed = np.array([0.5, 0.3, -0.2, -0.6])
+        positive = np.maximum(mixed, 0.0)
+        fast = reward_fairness(positive, validate=False)
+        slow = (gini(positive), share_entropy(positive))
+        assert fast == pytest.approx(slow)

@@ -1,0 +1,105 @@
+"""Unit tests for the streaming anomaly detectors."""
+
+import math
+
+import pytest
+
+from repro.monitor import EwmaDetector, RateWindow
+
+
+class TestEwmaDetector:
+    def test_silent_during_warmup(self):
+        det = EwmaDetector(warmup=5, z_threshold=2.0, min_std=0.01)
+        # even a wild swing inside the warmup window stays silent
+        assert [det.update(x) for x in (1.0, 1.0, 1.0, 1.0, -50.0)] == [None] * 5
+
+    def test_fires_down_on_collapse(self):
+        det = EwmaDetector(
+            alpha=0.25, z_threshold=4.0, warmup=5, min_std=0.05,
+            direction="down",
+        )
+        for _ in range(10):
+            assert det.update(1.0) is None
+        z = det.update(-5.0)
+        assert z is not None and z < -4.0
+
+    def test_down_detector_ignores_up_moves(self):
+        det = EwmaDetector(warmup=3, min_std=0.05, direction="down")
+        for _ in range(5):
+            det.update(0.0)
+        assert det.update(100.0) is None
+
+    def test_up_detector_fires_on_spike(self):
+        det = EwmaDetector(warmup=3, min_std=0.05, direction="up")
+        for _ in range(5):
+            det.update(0.0)
+        z = det.update(10.0)
+        assert z is not None and z > 0
+
+    def test_firing_observation_not_folded_into_state(self):
+        det = EwmaDetector(warmup=3, min_std=0.05, direction="down")
+        for _ in range(5):
+            det.update(1.0)
+        first = det.update(-10.0)
+        second = det.update(-10.0)
+        # the outlier must not drag the baseline toward itself: the same
+        # collapsed value fires again with the same z-score
+        assert first is not None and second == pytest.approx(first)
+
+    def test_min_std_floors_jitter(self):
+        det = EwmaDetector(warmup=3, z_threshold=4.0, min_std=0.5)
+        for _ in range(10):
+            det.update(0.0)
+        # a 1.0 swing is only 2 sigma under the floored std
+        assert det.update(-1.0) is None
+
+    def test_non_finite_observations_are_ignored(self):
+        det = EwmaDetector(warmup=2)
+        det.update(1.0)
+        assert det.update(float("nan")) is None
+        assert det.update(math.inf) is None
+        assert det.n == 1  # not folded
+
+    def test_deterministic_replay(self):
+        series = [1.0, 1.1, 0.9, 1.0, 1.05, 0.95, -4.0, 1.0, -4.0]
+
+        def run():
+            det = EwmaDetector(warmup=4, min_std=0.05, direction="down")
+            return [det.update(x) for x in series]
+
+        assert run() == run()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=1.5)
+        with pytest.raises(ValueError):
+            EwmaDetector(direction="sideways")
+
+
+class TestRateWindow:
+    def test_silent_below_min_count(self):
+        win = RateWindow(window=8, min_count=4, max_frac=0.25)
+        assert win.update(True) is None
+        assert win.update(True) is None
+        assert win.update(True) is None
+
+    def test_fires_when_fraction_exceeded(self):
+        win = RateWindow(window=8, min_count=4, max_frac=0.25)
+        for flag in (False, False, True):
+            win.update(flag)
+        frac = win.update(True)  # 2/4 degraded > 0.25
+        assert frac == pytest.approx(0.5)
+
+    def test_old_outcomes_slide_out(self):
+        win = RateWindow(window=4, min_count=4, max_frac=0.5)
+        for flag in (True, True, True, True):
+            win.update(flag)
+        # four healthy rounds push the degraded ones out of the window
+        results = [win.update(False) for _ in range(4)]
+        assert results[-1] is None
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            RateWindow(window=0)

@@ -1,0 +1,70 @@
+"""Tests for the flight recorder (event ring + post-mortem dumps)."""
+
+import json
+import math
+
+import pytest
+
+from repro.monitor import Alert, FlightRecorder
+
+
+def ev(seq, **data):
+    return {"v": 1, "seq": seq, "type": "fifl.round", "data": data}
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(ring_size=4)
+        for i in range(10):
+            rec.record(ev(i))
+        assert [e["seq"] for e in rec.ring] == [6, 7, 8, 9]
+
+    def test_rejects_non_positive_ring(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(ring_size=0)
+
+
+class TestDump:
+    def test_disabled_without_out_dir(self):
+        rec = FlightRecorder(ring_size=4, out_dir=None)
+        rec.record(ev(1))
+        assert rec.dump("alert") is None
+        assert rec.dumped_path is None
+
+    def test_dump_writes_header_then_ring(self, tmp_path):
+        rec = FlightRecorder(ring_size=4, out_dir=str(tmp_path), run_id="r1")
+        for i in range(3):
+            rec.record(ev(i, round=i))
+        alert = Alert(rule="margin-collapse", kind="anomaly",
+                      message="m", seq=2, round=2)
+        path = rec.dump("alert", [alert])
+        lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+        header, body = lines[0], lines[1:]
+        assert header["type"] == "postmortem"
+        assert header["run"] == "r1"
+        assert header["reason"] == "alert"
+        assert header["ring_events"] == 3
+        assert header["alerts"][0]["rule"] == "margin-collapse"
+        assert [e["seq"] for e in body] == [0, 1, 2]
+
+    def test_only_first_dump_is_kept(self, tmp_path):
+        rec = FlightRecorder(ring_size=4, out_dir=str(tmp_path), run_id="r1")
+        rec.record(ev(1))
+        first = rec.dump("alert")
+        rec.record(ev(2))
+        second = rec.dump("exception: RuntimeError")
+        assert second == first
+        lines = open(first, encoding="utf-8").read().splitlines()
+        assert json.loads(lines[0])["reason"] == "alert"
+        assert len(lines) == 2  # header + the single event of the first dump
+
+    def test_unencodable_event_falls_back_to_repr(self, tmp_path):
+        # a post-mortem must never fail because the anomaly it captures
+        # (here a NaN gauge) is unencodable by the canonical encoder
+        rec = FlightRecorder(ring_size=4, out_dir=str(tmp_path), run_id="nan")
+        rec.record(ev(1, value=math.nan, payload=object()))
+        path = rec.dump("alert")
+        body = open(path, encoding="utf-8").read().splitlines()[1]
+        decoded = json.loads(body)  # still parseable
+        assert math.isnan(decoded["data"]["value"])
+        assert decoded["data"]["payload"].startswith("<object object")

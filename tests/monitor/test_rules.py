@@ -1,0 +1,323 @@
+"""Rule-engine unit tests: every invariant and detector, fire + silent.
+
+Each test hand-crafts the v1 telemetry events the live hub would emit
+and drives them through a fresh :class:`RuleEngine`. The paired
+structure (one violating event, one clean twin) pins down exactly which
+field each rule keys on.
+"""
+
+import json
+
+import pytest
+
+from repro.ledger.blockchain import GENESIS_HASH
+from repro.monitor import MonitorConfig
+from repro.monitor.rules import RuleEngine
+
+
+def fifl_event(seq=10, rnd=0, **over):
+    """A self-consistent clean fifl.round event (live spelling)."""
+    data = {
+        "round": rnd,
+        "flagged": [3],
+        "accepted": 3,
+        "uncertain": [],
+        "threshold": 0.0,
+        "scores": {0: 0.5, 1: 0.4, 2: 0.3, 3: -0.8},
+        "margin_min": 0.1,
+        "margin_max": 0.8,
+        "reputation_delta": {
+            "workers": (0, 1, 2, 3),
+            "delta": [0.01, 0.01, 0.01, -0.05],
+        },
+        "rep_min": 0.1,
+        "rep_max": 0.9,
+        "budget": 1.0,
+        "rewards": {0: 0.4, 1: 0.35, 2: 0.25, 3: -0.2},
+        "reward_gini": 0.2,
+        "share_entropy": 0.9,
+    }
+    data.update(over)
+    return {"v": 1, "seq": seq, "type": "fifl.round", "data": data}
+
+
+def neutral_event(seq=10, rnd=0, **over):
+    """A clean event with no flagged worker and balanced reputation
+    movement — safe to repeat for many rounds without accumulating the
+    genuine drift the default event's flagged worker would build up."""
+    base = dict(
+        flagged=[], accepted=4,
+        reputation_delta={"workers": (0, 1, 2, 3),
+                          "delta": [0.01, 0.01, 0.01, 0.01]},
+        rewards={0: 0.3, 1: 0.3, 2: 0.2, 3: 0.2},
+    )
+    base.update(over)
+    return fifl_event(seq=seq, rnd=rnd, **base)
+
+
+def sim_event(seq=20, rnd=0, **over):
+    data = {
+        "round": rnd, "duration_s": 1.0, "stragglers": 0, "offline": 0,
+        "retries": 0, "late": 0, "uncertain": 0,
+        "comm": {"messages_sent": 10, "delivered": 9, "dropped": 1,
+                 "bytes_sent": 1000},
+    }
+    data.update(over)
+    return {"v": 1, "seq": seq, "type": "sim.round", "data": data}
+
+
+def engine(**cfg):
+    return RuleEngine(MonitorConfig(**cfg))
+
+
+def rules_of(alerts):
+    return [a.rule for a in alerts]
+
+
+class TestFiflInvariants:
+    def test_clean_event_is_silent(self):
+        assert engine().process(fifl_event()) == []
+
+    def test_unknown_event_types_are_ignored(self):
+        eng = engine()
+        assert list(eng.process({"type": "span", "name": "x"})) == []
+        assert list(eng.process({"type": "gauge", "value": 1.0})) == []
+
+    def test_budget_violation_positive_side(self):
+        ev = fifl_event(rewards={0: 0.9, 1: 0.8, 2: 0.25, 3: -0.2})
+        assert "budget-conservation" in rules_of(engine().process(ev))
+
+    def test_budget_violation_punishment_side(self):
+        ev = fifl_event(rewards={0: 0.4, 1: 0.3, 2: 0.2, 3: -1.5})
+        assert "budget-conservation" in rules_of(engine().process(ev))
+
+    def test_budget_tolerance_allows_rounding(self):
+        ev = fifl_event(rewards={0: 0.5, 1: 0.3, 2: 0.2 + 1e-9, 3: -0.2})
+        assert engine().process(ev) == []
+
+    def test_partition_flagged_not_scored(self):
+        ev = fifl_event(flagged=[9], accepted=3)
+        alerts = engine().process(ev)
+        assert "worker-partition" in rules_of(alerts)
+        assert alerts[0].data["flagged_not_scored"] == [9]
+
+    def test_partition_uncertain_overlaps_scored(self):
+        ev = fifl_event(uncertain=[2])
+        assert "worker-partition" in rules_of(engine().process(ev))
+
+    def test_partition_accepted_count_mismatch(self):
+        ev = fifl_event(accepted=2)
+        assert "worker-partition" in rules_of(engine().process(ev))
+
+    def test_reputation_out_of_bounds(self):
+        ev = fifl_event(rep_max=1.2)
+        alerts = engine().process(ev)
+        assert "reputation-bounds" in rules_of(alerts)
+        ev = fifl_event(rep_min=-0.3)
+        assert "reputation-bounds" in rules_of(engine().process(ev))
+
+    def test_flagged_worker_gaining_reputation_fires(self):
+        ev = fifl_event(reputation_delta={
+            "workers": (0, 1, 2, 3), "delta": [0.01, 0.01, 0.01, +0.05],
+        })
+        alerts = engine().process(ev)
+        assert "flagged-reputation-monotone" in rules_of(alerts)
+        assert alerts[0].data["workers"] == [3]
+
+    def test_json_spelling_matches_live_spelling(self):
+        # replayed traces carry string dict keys and lists; every rule
+        # must reach the same verdict on both spellings
+        for ev in (
+            fifl_event(rewards={0: 0.9, 1: 0.8, 2: 0.25, 3: -0.2}),
+            fifl_event(flagged=[9], accepted=3),
+            fifl_event(rep_max=1.2),
+        ):
+            live = rules_of(engine().process(ev))
+            replay = rules_of(engine().process(json.loads(json.dumps(ev))))
+            assert live == replay and live
+
+
+class TestMarginAndGini:
+    def test_margin_floor_fires_and_latches(self):
+        eng = engine()
+        first = eng.process(fifl_event(rnd=0, margin_min=-0.9))
+        assert rules_of(first) == ["margin-collapse"]
+        # still below the floor: latched, no repeat alert
+        assert eng.process(fifl_event(rnd=1, margin_min=-0.8)) == []
+        # recovery re-arms the latch; the next crossing fires again
+        assert eng.process(fifl_event(rnd=2, margin_min=0.2)) == []
+        again = eng.process(fifl_event(rnd=3, margin_min=-0.7))
+        assert rules_of(again) == ["margin-collapse"]
+
+    def test_margin_ewma_drift_fires_above_floor(self):
+        eng = engine(margin_floor=-10.0, warmup_rounds=3, min_std=0.01)
+        for r in range(8):
+            assert eng.process(neutral_event(rnd=r, margin_min=0.5)) == []
+        alerts = eng.process(neutral_event(rnd=8, margin_min=0.1))
+        assert rules_of(alerts) == ["margin-collapse"]
+        assert alerts[0].data["z"] < 0
+
+    def test_gini_cap_fires_and_latches(self):
+        eng = engine()
+        assert rules_of(eng.process(fifl_event(rnd=0, reward_gini=0.95))) == \
+            ["reward-gini-spike"]
+        assert eng.process(fifl_event(rnd=1, reward_gini=0.96)) == []
+        assert eng.process(fifl_event(rnd=2, reward_gini=0.2)) == []
+        assert rules_of(eng.process(fifl_event(rnd=3, reward_gini=0.99))) == \
+            ["reward-gini-spike"]
+
+    def test_healthy_gini_variation_stays_silent(self):
+        # a clean run's Gini legitimately swings by several tenths
+        eng = engine()
+        series = [0.03, 0.24, 0.15, 0.22, 0.10, 0.21, 0.46, 0.22, 0.58, 0.28]
+        for r, g in enumerate(series):
+            assert eng.process(neutral_event(rnd=r, reward_gini=g)) == []
+
+
+class TestReputationDrift:
+    def drifting_event(self, rnd):
+        return fifl_event(rnd=rnd, flagged=[], accepted=4, reputation_delta={
+            "workers": (0, 1, 2, 3),
+            "delta": [0.01, 0.01, 0.01, -0.2],
+        }, rewards={0: 0.3, 1: 0.3, 2: 0.3, 3: 0.1})
+
+    def test_fires_once_per_worker(self):
+        eng = engine(drift_check_stride=1)
+        fired = []
+        for r in range(12):
+            fired.extend(eng.process(self.drifting_event(r)))
+        drift = [a for a in fired if a.rule == "reputation-drift"]
+        assert len(drift) == 1
+        assert drift[0].data["worker"] == 3
+
+    def test_stride_gates_the_scan(self):
+        # with the default stride the scan only runs on multiples of it,
+        # so the first possible firing round is the first stride multiple
+        # past warmup
+        eng = engine(drift_check_stride=4, warmup_rounds=5)
+        rounds_fired = []
+        for r in range(12):
+            for a in eng.process(self.drifting_event(r)):
+                if a.rule == "reputation-drift":
+                    rounds_fired.append(r + 1)  # _rep_rounds == r + 1
+        assert rounds_fired == [8]
+
+    def test_cohort_reshape_carries_movement_forward(self):
+        eng = engine(drift_check_stride=1, warmup_rounds=3)
+        for r in range(4):
+            eng.process(self.drifting_event(r))
+        # worker 3 leaves (churn); remaining cohort is healthy
+        ev = fifl_event(rnd=4, flagged=[], accepted=3,
+                        scores={0: 0.5, 1: 0.4, 2: 0.3},
+                        rewards={0: 0.4, 1: 0.3, 2: 0.3},
+                        reputation_delta={"workers": (0, 1, 2),
+                                          "delta": [0.01, 0.01, 0.01]})
+        assert eng.process(ev) == []
+        assert eng._rep_workers == (0, 1, 2)
+
+
+class TestSimRound:
+    def test_clean_sim_round_is_silent(self):
+        assert engine().process(sim_event()) == []
+
+    def test_comm_delivered_plus_dropped_exceeds_sent(self):
+        ev = sim_event(comm={"messages_sent": 10, "delivered": 9,
+                             "dropped": 3, "bytes_sent": 100})
+        assert "comm-accounting" in rules_of(engine().process(ev))
+
+    def test_comm_negative_counter(self):
+        ev = sim_event(comm={"messages_sent": -1, "delivered": 0,
+                             "dropped": 0, "bytes_sent": 0})
+        assert "comm-accounting" in rules_of(engine().process(ev))
+
+    def test_comm_cumulative_counters_must_not_decrease(self):
+        eng = engine()
+        assert eng.process(sim_event(rnd=0)) == []
+        ev = sim_event(rnd=1, comm={"messages_sent": 5, "delivered": 4,
+                                    "dropped": 1, "bytes_sent": 500})
+        assert "comm-accounting" in rules_of(eng.process(ev))
+
+    def test_slo_fires_on_sustained_degradation(self):
+        eng = engine()
+        fired = []
+        for r in range(6):
+            fired.extend(eng.process(sim_event(seq=30 + r, rnd=r, late=2)))
+        assert "slo-degraded" in rules_of(fired)
+
+    def test_slo_silent_on_rare_degradation(self):
+        eng = engine()
+        fired = []
+        for r in range(8):
+            late = 1 if r == 3 else 0
+            fired.extend(eng.process(sim_event(seq=30 + r, rnd=r, late=late)))
+        assert fired == []
+
+
+class TestLedgerRules:
+    def commit(self, index, prev_hash, block_hash, seq=50):
+        return {"v": 1, "seq": seq + index, "type": "ledger.commit",
+                "data": {"index": index, "signer": "server-0",
+                         "prev_hash": prev_hash, "hash": block_hash,
+                         "payload_digest": "d" * 8, "round": index}}
+
+    def test_well_linked_chain_is_silent(self):
+        eng = engine()
+        assert eng.process(self.commit(0, GENESIS_HASH, "h0")) == []
+        assert eng.process(self.commit(1, "h0", "h1")) == []
+        assert eng.process(self.commit(2, "h1", "h2")) == []
+
+    def test_unknown_parent_fires(self):
+        eng = engine()
+        eng.process(self.commit(0, GENESIS_HASH, "h0"))
+        alerts = eng.process(self.commit(1, "bogus", "h1"))
+        assert rules_of(alerts) == ["ledger-chain"]
+
+    def test_index_skip_fires(self):
+        eng = engine()
+        eng.process(self.commit(0, GENESIS_HASH, "h0"))
+        alerts = eng.process(self.commit(2, "h0", "h2"))
+        assert rules_of(alerts) == ["ledger-chain"]
+
+    def test_unclean_audit_fires(self):
+        ev = {"v": 1, "seq": 90, "type": "ledger.audit",
+              "data": {"worker": 0, "rounds_checked": 3,
+                       "chain_intact": True, "clean": False,
+                       "findings": [{"block_index": 1, "round": 1,
+                                     "signer": "evil", "recorded": 0.95,
+                                     "recomputed": 0.5}]}}
+        alerts = engine().process(ev)
+        assert rules_of(alerts) == ["ledger-audit"]
+        assert alerts[0].data["findings"][0]["signer"] == "evil"
+
+    def test_clean_audit_is_silent(self):
+        ev = {"v": 1, "seq": 91, "type": "ledger.audit",
+              "data": {"worker": 0, "rounds_checked": 3,
+                       "chain_intact": True, "clean": True, "findings": []}}
+        assert list(engine().process(ev)) == []
+
+
+class TestMetricRule:
+    def test_nan_metric_fires(self):
+        ev = {"v": 1, "seq": 5, "type": "metric", "name": "fifl.margin",
+              "value": float("nan")}
+        assert rules_of(engine().process(ev)) == ["non-finite-metric"]
+
+    def test_finite_metric_silent(self):
+        ev = {"v": 1, "seq": 5, "type": "metric", "name": "fifl.margin",
+              "value": 0.25}
+        assert list(engine().process(ev)) == []
+
+
+class TestAlertShape:
+    def test_alert_carries_seq_round_and_payload(self):
+        alerts = engine().process(fifl_event(seq=42, rnd=7, rep_max=1.5))
+        a = alerts[0]
+        assert (a.seq, a.round, a.kind) == (42, 7, "invariant")
+        d = a.to_dict()
+        assert d["rule"] == "reputation-bounds"
+        assert json.dumps(d)  # JSON-serializable
+
+    def test_strict_config_is_engine_agnostic(self):
+        # the engine itself never raises; raising is the Monitor's job
+        eng = engine(strict=True)
+        assert eng.process(fifl_event(rep_max=9.0))

@@ -1,0 +1,168 @@
+"""Tests for benchmarks/collect.py (the perf-trajectory tool).
+
+The tool is a standalone script, not part of the ``repro`` package, so
+it is loaded from its file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+COLLECT_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "collect.py"
+)
+
+
+def _load_collect():
+    spec = importlib.util.spec_from_file_location("collect", COLLECT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+collect = _load_collect()
+
+
+def engine_manifest(speedup=2.0, kernels=3.0, overhead=1.0):
+    return {
+        "by_size": {
+            "16": {"speedup_total": 1.1, "speedup_kernels": 1.2},
+            "256": {"speedup_total": speedup, "speedup_kernels": kernels},
+        },
+        "monitor_overhead": {"overhead_pct": overhead},
+    }
+
+
+def sim_manifest(overhead=0.1, identical=True):
+    return {"overhead_pct": overhead, "bitwise_identical": identical}
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    d = tmp_path / "benchmarks"
+    d.mkdir()
+    (d / "BENCH_engine.json").write_text(json.dumps(engine_manifest()))
+    (d / "BENCH_sim.json").write_text(json.dumps(sim_manifest()))
+    return d
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    return tmp_path / "BENCH_trajectory.json"
+
+
+class TestCollectCurrent:
+    def test_extracts_headlines_at_largest_size(self, bench_dir):
+        current = collect.collect_current(bench_dir)
+        assert set(current) == {"engine", "sim"}
+        engine = current["engine"]
+        assert engine["speedup_total_n256"]["value"] == 2.0
+        assert engine["monitor_overhead_pct"]["better"] == "lower"
+        assert current["sim"]["bitwise_identical"]["better"] == "exact"
+
+    def test_unknown_manifest_skipped_with_notice(self, bench_dir, capsys):
+        (bench_dir / "BENCH_mystery.json").write_text("{}")
+        current = collect.collect_current(bench_dir)
+        assert "mystery" not in current
+        assert "no extractor for BENCH_mystery.json" in capsys.readouterr().err
+
+
+class TestRecord:
+    def test_record_appends_then_replaces_same_label(self, bench_dir,
+                                                     trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(speedup=2.5))
+        )
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        traj = json.loads(trajectory.read_text())
+        rows = traj["benches"]["engine"]
+        assert len(rows) == 1  # replaced in place, not duplicated
+        assert rows[0]["metrics"]["speedup_total_n256"]["value"] == 2.5
+
+    def test_distinct_labels_accumulate(self, bench_dir, trajectory):
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        rows = json.loads(trajectory.read_text())["benches"]["engine"]
+        assert [r["label"] for r in rows] == ["PR4", "PR5"]
+
+
+class TestCheck:
+    def test_passes_when_unchanged(self, bench_dir, trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_small_wobble_within_tolerance(self, bench_dir, trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(speedup=1.9))  # -5% on a 20% budget
+        )
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_degraded_speedup_flagged(self, bench_dir, trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(speedup=1.0))  # -50%
+        )
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert len(problems) == 1
+        assert "engine.speedup_total_n256" in problems[0]
+        assert "fell below" in problems[0]
+
+    def test_overhead_rise_flagged_beyond_abs_slack(self, bench_dir,
+                                                    trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(overhead=4.5))  # 1% -> 4.5%
+        )
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("monitor_overhead_pct" in p and "rose above" in p
+                   for p in problems)
+
+    def test_overhead_jitter_inside_abs_slack_passes(self, bench_dir,
+                                                     trajectory):
+        # 1% -> 2.5% is 150% relative, but within the 2-point absolute
+        # slack for near-zero percentage metrics
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(overhead=2.5))
+        )
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_bitwise_flip_is_exact_failure(self, bench_dir, trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_sim.json").write_text(
+            json.dumps(sim_manifest(identical=False))
+        )
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("bitwise_identical" in p for p in problems)
+
+    def test_missing_row_reported(self, bench_dir, trajectory):
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("no recorded trajectory row" in p for p in problems)
+
+    def test_new_metric_without_baseline_is_not_a_regression(self, bench_dir,
+                                                             trajectory):
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        traj = json.loads(trajectory.read_text())
+        del traj["benches"]["engine"][0]["metrics"]["monitor_overhead_pct"]
+        trajectory.write_text(json.dumps(traj))
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+
+class TestShow:
+    def test_renders_one_line_per_row(self, bench_dir, trajectory):
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        lines = collect.show(path=trajectory)
+        assert "=== engine" in lines
+        assert sum(1 for l in lines if l.strip().startswith("PR")) == 4
+
+
+class TestRepoTrajectory:
+    def test_committed_trajectory_matches_committed_manifests(self):
+        # the real CI gate: the repo's own BENCH_trajectory.json must be
+        # consistent with the manifests checked in next to it
+        assert collect.check() == []
