@@ -38,8 +38,9 @@ TRAJECTORY = REPO_ROOT / "BENCH_trajectory.json"
 #: default relative tolerance for --check (fraction of the baseline)
 DEFAULT_TOLERANCE = 0.20
 #: absolute slack (same unit as the metric) added on top of the relative
-#: tolerance for percentage metrics that legitimately sit near zero
-ABS_SLACK = {"pct": 2.0}
+#: tolerance for percentage metrics that legitimately sit near zero, and
+#: for bytes/worker figures whose numerator is a jittery allocator peak
+ABS_SLACK = {"pct": 2.0, "bytes_per_worker": 8.0}
 
 
 def _max_size_entry(manifest: dict) -> tuple[str, dict]:
@@ -98,9 +99,30 @@ def extract_sim(manifest: dict) -> dict:
     }
 
 
+def extract_population(manifest: dict) -> dict:
+    """Headlines of BENCH_population.json (cross-device scale)."""
+    n, entry = _max_size_entry(manifest)
+    return {
+        f"rounds_per_sec_n{n}": {
+            "value": float(entry["rounds_per_sec"]), "better": "higher",
+        },
+        f"bytes_per_worker_n{n}": {
+            "value": float(entry["bytes_per_worker"]),
+            "better": "lower", "unit": "bytes_per_worker",
+        },
+        "cohort_memory_ok": {
+            "value": bool(manifest["cohort_memory_ok"]), "better": "exact",
+        },
+        "bitwise_identical": {
+            "value": bool(manifest["bitwise_identical"]), "better": "exact",
+        },
+    }
+
+
 EXTRACTORS = {
     "engine": extract_engine,
     "local_step": extract_local_step,
+    "population": extract_population,
     "sim": extract_sim,
 }
 

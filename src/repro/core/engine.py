@@ -50,13 +50,20 @@ class RoundBatch:
     _row_sqnorms: np.ndarray | None = None  # lazy ||G_i||² cache
 
     @classmethod
-    def from_context(cls, ctx: RoundContext) -> "RoundBatch | None":
+    def from_context(
+        cls, ctx: RoundContext, shared: bool = False
+    ) -> "RoundBatch | None":
         """Stack ``ctx.slices`` into the batched layout (None if empty).
 
         Workers in ``ctx.slices`` delivered a complete slice set (the
         trainer routes partial deliveries to ``ctx.uncertain`` instead),
         so each row is the worker's full gradient reassembled in server
         order — exactly ``recombine(slices)`` of the scalar path.
+
+        ``shared=True`` places the stacked matrix in a
+        ``multiprocessing`` shared-memory segment (when the platform
+        allows), so worker-shard consumers in other processes can map
+        the same round batch zero-copy.
         """
         ids = sorted(ctx.slices)
         if not ids:
@@ -65,7 +72,12 @@ class RoundBatch:
         first = ctx.slices[ids[0]]
         dim = sum(first[srv].size for srv in server_ranks)
         offsets = slice_offsets(dim, len(server_ranks))
-        gradients = np.empty((len(ids), dim))
+        if shared:
+            from ..population.sharding import allocate_gradient_matrix
+
+            gradients, _ = allocate_gradient_matrix(len(ids), dim, shared=True)
+        else:
+            gradients = np.empty((len(ids), dim))
         for j, srv in enumerate(server_ranks):
             block = gradients[:, offsets[j] : offsets[j + 1]]
             for i, wid in enumerate(ids):
@@ -100,6 +112,44 @@ class RoundBatch:
     def server_block(self, slot: int) -> np.ndarray:
         """Server ``slot``'s slice matrix: a column-block view, no copy."""
         return self.gradients[:, self.offsets[slot] : self.offsets[slot + 1]]
+
+    def shard(self, start: int, stop: int) -> "RoundBatch":
+        """Row window ``[start, stop)`` as a view-backed sub-batch.
+
+        All aligned vectors are sliced views (no copies); the sqnorm
+        cache, when already computed, is sliced too so shard consumers
+        never recompute it.
+        """
+        if not 0 <= start < stop <= self.num_workers:
+            raise ValueError(f"bad shard window [{start}, {stop})")
+        return RoundBatch(
+            worker_ids=self.worker_ids[start:stop],
+            gradients=self.gradients[start:stop],
+            offsets=self.offsets,
+            server_ranks=self.server_ranks,
+            sample_counts=self.sample_counts[start:stop],
+            _row_sqnorms=(
+                self._row_sqnorms[start:stop]
+                if self._row_sqnorms is not None
+                else None
+            ),
+        )
+
+    def iter_shards(self, shard_size: int | None):
+        """Stream the batch as row shards of at most ``shard_size`` workers.
+
+        Every per-round kernel this batch feeds (detection scores,
+        gradient distances, weighted aggregation) is a per-row reduction,
+        so processing shard-by-shard bounds kernel temporaries by shard
+        size without changing any result. ``None`` yields ``self`` once.
+        """
+        from ..population.sharding import iter_row_shards
+
+        for start, stop in iter_row_shards(self.num_workers, shard_size):
+            if start == 0 and stop == self.num_workers:
+                yield self
+            else:
+                yield self.shard(start, stop)
 
     def mask(self, accepted: np.ndarray | dict[int, bool]) -> np.ndarray:
         """Boolean row mask from an accept verdict (array or dict form)."""

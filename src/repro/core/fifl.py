@@ -111,8 +111,15 @@ class FIFLConfig:
     # Round pipeline implementation: "vectorized" (batched matrix engine)
     # or "scalar" (per-worker reference path, for differential testing).
     engine: str = "vectorized"
+    # Worker-shard streaming for the vectorized kernels: detection scores
+    # and gradient distances are per-row reductions, so processing row
+    # blocks of at most ``shard_size`` workers bounds kernel temporaries
+    # by shard size at identical results (None = whole cohort at once).
+    shard_size: int | None = None
 
     def __post_init__(self) -> None:
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive (or None)")
         if self.contribution_baseline not in ("zero", "reference"):
             raise ValueError(
                 "contribution_baseline must be 'zero' or 'reference'"
@@ -235,13 +242,48 @@ class FIFLMechanism:
             return distances, b_h, contributions(distances, b_h)
         return distances, None, {w: 0.0 for w in distances}
 
+    def _detection_scores_sharded(
+        self, batch: RoundBatch, ranks, slots, bench_slices
+    ) -> np.ndarray:
+        """Detection scores, streamed over worker shards when configured.
+
+        The score kernel is a pure per-row reduction, so concatenating
+        per-shard results equals the one-shot call exactly (bit-for-bit:
+        each row's GEMV and normalization touch only that row).
+        """
+        return np.concatenate(
+            [
+                detection_scores_matrix(
+                    sh.worker_ids,
+                    sh.gradients,
+                    sh.offsets,
+                    ranks,
+                    slots,
+                    bench_slices,
+                    self.config.detection.mode,
+                )
+                for sh in batch.iter_shards(self.config.shard_size)
+            ]
+        )
+
+    def _gradient_distances_sharded(
+        self, reference_grad: np.ndarray, batch: RoundBatch
+    ) -> np.ndarray:
+        """Gradient distances, streamed over worker shards when configured."""
+        return np.concatenate(
+            [
+                gradient_distances_matrix(
+                    reference_grad, sh.gradients, row_sqnorms=sh.row_sqnorms
+                )
+                for sh in batch.iter_shards(self.config.shard_size)
+            ]
+        )
+
     def _score_contributions_batch(
         self, reference_grad: np.ndarray, batch: RoundBatch
     ) -> tuple[np.ndarray, float | None, np.ndarray]:
         """Batched ``_score_contributions``: one reduction for all workers."""
-        dist_vec = gradient_distances_matrix(
-            reference_grad, batch.gradients, row_sqnorms=batch.row_sqnorms
-        )
+        dist_vec = self._gradient_distances_sharded(reference_grad, batch)
         ref_worker = self.config.reference_worker
         b_h: float | None
         if (
@@ -383,14 +425,8 @@ class FIFLMechanism:
         with prof.phase("fifl.detect"):
             ranks, slots, bench_slices = stack_benchmarks(ctx, offsets)
             if batch is not None:
-                score_vec = detection_scores_matrix(
-                    batch.worker_ids,
-                    batch.gradients,
-                    batch.offsets,
-                    ranks,
-                    slots,
-                    bench_slices,
-                    cfg.detection.mode,
+                score_vec = self._detection_scores_sharded(
+                    batch, ranks, slots, bench_slices
                 )
                 accept_vec = score_vec >= cfg.detection.threshold
                 scores = batch.to_dict(score_vec)

@@ -20,6 +20,7 @@ from . import (
     fig13_cumulative_rewards,
     fig14_punishments,
     noniid,
+    population_scale,
     sim_churn,
     sim_stragglers,
 )
@@ -30,6 +31,7 @@ from .common import (
     FedExpConfig,
     FigureConfig,
     build_federation,
+    build_population,
     data_poison,
     probabilistic,
     run_federated,
@@ -47,6 +49,7 @@ __all__ = [
     "registry",
     "FedExpConfig",
     "build_federation",
+    "build_population",
     "run_federated",
     "sign_flip",
     "data_poison",
@@ -65,6 +68,7 @@ __all__ = [
     "fig13_cumulative_rewards",
     "fig14_punishments",
     "noniid",
+    "population_scale",
     "sim_churn",
     "sim_stragglers",
 ]

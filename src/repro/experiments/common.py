@@ -29,15 +29,14 @@ from ..datasets import (
     train_test_split,
 )
 from ..fl import (
-    DataPoisonWorker,
     FederatedTrainer,
     HonestWorker,
-    ProbabilisticAttacker,
-    SignFlippingWorker,
     TrainingHistory,
     Worker,
 )
+from ..fl.workers import WorkerSpec, make_worker
 from ..nn import Sequential, build_lenet, build_logreg, build_mini_resnet
+from ..population import WorkerPopulation
 from ..sim import FaultScenario
 
 __all__ = [
@@ -49,6 +48,7 @@ __all__ = [
     "FigureConfig",
     "FedExpConfig",
     "build_federation",
+    "build_population",
     "run_federated",
 ]
 
@@ -94,19 +94,21 @@ class AttackerSpec:
     kind: str  # "sign" | "poison" | "prob"
     params: tuple = ()
 
-    def build(self, *args, seed: int = 0, **kwargs) -> Worker:
+    def to_spec(self) -> WorkerSpec:
+        """The declarative :class:`WorkerSpec` this shorthand names."""
         if self.kind == "sign":
             (p_s,) = self.params
-            return SignFlippingWorker(*args, p_s=p_s, seed=seed, **kwargs)
+            return WorkerSpec("sign", {"p_s": p_s})
         if self.kind == "poison":
             (p_d,) = self.params
-            return DataPoisonWorker(
-                *args, p_d=p_d, poison_seed=seed, seed=seed, **kwargs
-            )
+            return WorkerSpec("poison", {"p_d": p_d})
         if self.kind == "prob":
             p_a, p_s = self.params
-            return ProbabilisticAttacker(*args, p_a=p_a, p_s=p_s, seed=seed, **kwargs)
+            return WorkerSpec("prob", {"p_a": p_a, "p_s": p_s})
         raise ValueError(f"unknown attacker kind {self.kind!r}")
+
+    def build(self, *args, seed: int = 0, **kwargs) -> Worker:
+        return make_worker(self.to_spec(), *args, seed=seed, **kwargs)
 
 
 def sign_flip(p_s: float) -> AttackerSpec:
@@ -162,6 +164,20 @@ class FedExpConfig:
     # fault/timing scenario: None runs the direct (instantaneous) loop;
     # a FaultScenario moves uploads onto the discrete-event kernel
     scenario: FaultScenario | None = None
+    # -- population-first surface (cross-device scale) --------------------
+    # population_size > num_workers registers that many worker ids and
+    # materializes them lazily (dataset must be "blobs"); None keeps the
+    # eager cross-silo roster of exactly num_workers workers
+    population_size: int | None = None
+    # per-round cohort size and sampler name ("uniform" | "reputation" |
+    # "available"); both None = static full-population rounds
+    cohort_size: int | None = None
+    sampler: str | None = None
+    # per-round device check-in probability (1.0 = always available)
+    availability: float = 1.0
+    # shard streaming: bound round-kernel and fleet temporaries by this
+    # many workers per shard (None = whole cohort at once)
+    shard_size: int | None = None
 
     def scaled(self, **overrides) -> "FedExpConfig":
         """Copy with overrides (e.g. full-paper scale)."""
@@ -245,6 +261,78 @@ def build_federation(
     return _make_model(cfg), workers, test
 
 
+def build_population(
+    cfg: FedExpConfig,
+    attackers: dict[int, AttackerSpec] | None = None,
+) -> tuple[Sequential, WorkerPopulation, Dataset]:
+    """Construct (global model, population, test set) for one experiment.
+
+    With ``population_size`` unset (or equal to ``num_workers``) this is
+    the eager roster of :func:`build_federation` wrapped via
+    :meth:`WorkerPopulation.from_workers` — same workers, same data, same
+    seeds. A larger ``population_size`` switches to lazy per-worker
+    recipes: worker datasets are derived on demand from the id (blobs
+    only — the shared class prototypes are re-drawn from ``cfg.seed``
+    exactly as :func:`make_blobs` would), so registering 10^6 ids costs
+    O(1) per id and only sampled cohorts are ever materialized.
+    """
+    attackers = attackers or {}
+    if cfg.population_size is None or cfg.population_size == cfg.num_workers:
+        model, workers, test = build_federation(cfg, attackers)
+        return (
+            model,
+            WorkerPopulation.from_workers(workers, availability=cfg.availability),
+            test,
+        )
+    if cfg.population_size < cfg.num_workers:
+        raise ValueError("population_size must be >= num_workers")
+    if cfg.dataset != "blobs":
+        raise ValueError(
+            "population_size > num_workers needs dataset='blobs' "
+            "(the only dataset with a lazy per-worker recipe)"
+        )
+    size = cfg.population_size
+    # membership test per attacker id, not set(range(size)) — that
+    # materializes O(population) ints just to validate a handful of keys
+    bad = [wid for wid in attackers if not 0 <= wid < size]
+    if bad:
+        raise ValueError(f"attacker ids {sorted(bad)} out of range")
+    # Shared class prototypes: the same first draw make_blobs makes from
+    # this seed, so lazy shards live in the same feature geometry as the
+    # eager path (per-worker labels/noise come from private streams).
+    protos = np.random.default_rng(cfg.seed).normal(
+        size=(cfg.n_classes, cfg.n_features)
+    )
+    signal, noise = 2.0, 1.0  # make_blobs defaults
+
+    def blob_shard(rng: np.random.Generator, n: int) -> Dataset:
+        y = rng.integers(0, cfg.n_classes, size=n)
+        x = signal * protos[y] + noise * rng.normal(size=(n, cfg.n_features))
+        return Dataset(x, y, cfg.n_classes, "blobs")
+
+    def data_fn(wid: int) -> Dataset:
+        return blob_shard(
+            np.random.default_rng((cfg.seed, 0xDA7A, wid)),
+            cfg.samples_per_worker,
+        )
+
+    test = blob_shard(
+        np.random.default_rng((cfg.seed, 0x7E57)), cfg.test_samples
+    )
+    population = WorkerPopulation(
+        size,
+        data_fn=data_fn,
+        model_fn=lambda: _make_model(cfg),
+        spec_fn={wid: spec.to_spec() for wid, spec in attackers.items()},
+        seed=cfg.seed,
+        worker_kwargs=dict(
+            lr=cfg.lr, batch_size=cfg.batch_size, local_iters=cfg.local_iters
+        ),
+        availability=cfg.availability,
+    )
+    return _make_model(cfg), population, test
+
+
 def run_federated(
     cfg: FedExpConfig,
     attackers: dict[int, AttackerSpec] | None = None,
@@ -252,7 +340,7 @@ def run_federated(
     ledger=None,
 ) -> tuple[TrainingHistory, FIFLMechanism | None]:
     """Train one federation; returns the history and mechanism (if any)."""
-    model, workers, test = build_federation(cfg, attackers)
+    model, population, test = build_population(cfg, attackers)
     mechanism = None
     if with_fifl:
         mechanism = make_mechanism(
@@ -266,11 +354,12 @@ def run_federated(
             contribution_filter=cfg.contribution_filter,
             contribution_reference=cfg.contribution_reference,
             engine=cfg.engine,
+            shard_size=cfg.shard_size,
         )
     trainer = FederatedTrainer(
         model,
-        workers,
-        list(cfg.server_ranks),
+        population=population,
+        server_ranks=list(cfg.server_ranks),
         test_data=test,
         mechanism=mechanism,
         server_lr=cfg.server_lr,
@@ -278,6 +367,9 @@ def run_federated(
         seed=cfg.seed,
         local_engine=cfg.local_engine,
         scenario=cfg.scenario,
+        cohort_size=cfg.cohort_size,
+        sampler=cfg.sampler,
+        fleet_shard_size=cfg.shard_size,
     )
     # High-intensity attacks legitimately blow the model up (the paper:
     # "loss becomes NaN" at p_s >= 10); silence the float warnings so the

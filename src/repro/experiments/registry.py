@@ -30,6 +30,7 @@ from . import (
     fig13_cumulative_rewards,
     fig14_punishments,
     noniid,
+    population_scale,
     sim_churn,
     sim_stragglers,
 )
@@ -138,6 +139,11 @@ REGISTRY: tuple[FigureSpec, ...] = (
         "ext-noniid", noniid,
         "detection under non-iid data",
         alphas=(100.0, 0.1), rounds=6,
+    ),
+    _spec(
+        "population-scale", population_scale,
+        "cross-device scale: cohort sampling over a lazy worker population",
+        population_size=300, cohort_size=12, rounds=6, eval_every=6,
     ),
     # discrete-event simulation scenarios (repro.sim)
     _spec(

@@ -12,6 +12,7 @@ from .trainer import (
     TrainingHistory,
 )
 from .workers import (
+    WORKER_ROLES,
     ColludingAttacker,
     DataPoisonWorker,
     FreeRiderWorker,
@@ -22,7 +23,11 @@ from .workers import (
     SampleInflationWorker,
     SignFlippingWorker,
     Worker,
+    WorkerSpec,
     WorkerUpdate,
+    make_worker,
+    make_workers,
+    register_worker_role,
 )
 
 __all__ = [
@@ -50,4 +55,9 @@ __all__ = [
     "ReplayFreeRider",
     "SampleInflationWorker",
     "ColludingAttacker",
+    "WorkerSpec",
+    "WORKER_ROLES",
+    "register_worker_role",
+    "make_worker",
+    "make_workers",
 ]

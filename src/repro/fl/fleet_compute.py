@@ -40,15 +40,37 @@ __all__ = ["FleetLocalEngine"]
 
 
 class _FleetGroup:
-    """One batch of workers sharing architecture, batch size and iters."""
+    """One batch of workers sharing architecture, batch size and iters.
 
-    def __init__(self, workers: list[Worker]):
+    With ``persistent=False`` (shard-streaming mode) the stacked
+    :class:`FleetSequential` is built lazily per round and released
+    afterwards, so peak parameter memory is one shard's worth instead of
+    the whole cohort's.
+    """
+
+    def __init__(self, workers: list[Worker], persistent: bool = True):
         self.workers = workers
-        self.model = FleetSequential(workers[0].model, len(workers))
+        self._persistent = persistent
+        self._model: FleetSequential | None = (
+            FleetSequential(workers[0].model, len(workers)) if persistent else None
+        )
         self.loss_fn = FleetSoftmaxCrossEntropy()
         self.lrs = np.asarray([w.lr for w in workers], dtype=np.float64)
         self.batch = min(workers[0].batch_size, len(workers[0].dataset))
         self.local_iters = workers[0].local_iters
+
+    @property
+    def model(self) -> FleetSequential:
+        if self._model is None:
+            self._model = FleetSequential(
+                self.workers[0].model, len(self.workers)
+            )
+        return self._model
+
+    def release(self) -> None:
+        """Drop the stacked replica between rounds (shard mode only)."""
+        if not self._persistent:
+            self._model = None
 
 
 def _group_key(worker: Worker) -> tuple | None:
@@ -69,9 +91,23 @@ def _group_key(worker: Worker) -> tuple | None:
 class FleetLocalEngine:
     """Computes every worker's round update with fleet-batched kernels."""
 
-    def __init__(self, workers: list[Worker], profiler: Profiler | None = None):
+    def __init__(
+        self,
+        workers: list[Worker],
+        profiler: Profiler | None = None,
+        shard_size: int | None = None,
+    ):
+        if shard_size is not None and shard_size <= 0:
+            raise ValueError("shard_size must be positive (or None)")
         self.workers = sorted(workers, key=lambda w: w.worker_id)
         self.profiler = profiler if profiler is not None else get_profiler()
+        # Shard streaming: cap every fleet group at ``shard_size`` workers
+        # and build/release each shard's stacked replica lazily, bounding
+        # peak parameter memory by shard size instead of cohort size. The
+        # per-worker arithmetic is independent of the stacking axis, so
+        # sharded results are bit-identical to the unsharded fleet (see
+        # tests/population/test_shard_streaming.py).
+        self.shard_size = shard_size
         self._groups: list[_FleetGroup] = []
         self._scalar: list[Worker] = []
         self._grouped_for: frozenset[int] | None = None
@@ -91,7 +127,16 @@ class FleetLocalEngine:
                 self._scalar.append(w)
             else:
                 by_key.setdefault(key, []).append(w)
-        self._groups = [_FleetGroup(members) for members in by_key.values()]
+        shard = self.shard_size
+        self._groups = []
+        for members in by_key.values():
+            if shard is None or len(members) <= shard:
+                self._groups.append(_FleetGroup(members))
+            else:
+                for lo in range(0, len(members), shard):
+                    self._groups.append(
+                        _FleetGroup(members[lo : lo + shard], persistent=False)
+                    )
         self._grouped_for = exclude
         # Fleet-shape telemetry, re-emitted only when the grouping
         # actually changes (worker failure, reselection) — near-zero
@@ -147,6 +192,7 @@ class FleetLocalEngine:
             for i, w in enumerate(group.workers):
                 buffers = bufs[i] if bufs is not None else None
                 updates[w.worker_id] = w.finalize_update(grads[i], buffers)
+        group.release()
         prof.count("fleet.batched_workers", n * group.local_iters)
 
     def compute_updates(

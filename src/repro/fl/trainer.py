@@ -10,10 +10,33 @@ A pluggable mechanism (e.g. :class:`repro.core.FIFLMechanism`) inspects the
 per-server slices each round and decides which workers' gradients enter the
 aggregate; with no mechanism every delivered update is accepted, which is
 the undefended baseline of Figures 7, 8 and 10.
+
+Population-first surface (cross-device scale)
+---------------------------------------------
+The primary constructor takes a
+:class:`~repro.population.WorkerPopulation` plus an optional cohort size
+and :class:`~repro.population.CohortSampler`::
+
+    FederatedTrainer(model, population=pop, cohort_size=64,
+                     sampler="reputation", server_ranks=[0, 1], ...)
+
+With a full-population cohort (or no sampler at all) the trainer runs in
+**static** mode: every worker is materialized once and the round loop is
+the classic cross-silo path, bit-for-bit identical to the legacy
+``workers=[...]`` surface. With a sampler or a sub-population cohort it
+runs in **dynamic** mode: each round samples a cohort (server ranks
+always included — they produce the detection benchmarks), materializes
+only those workers, trains, and writes the round's reputation verdicts
+back into the population's out-of-core store. Per-round cost is
+O(cohort), never O(population).
+
+The legacy ``workers=[...]`` list remains accepted through the single
+deprecation pathway :meth:`WorkerPopulation.from_workers`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -37,6 +60,23 @@ __all__ = [
     "TrainingHistory",
     "FederatedTrainer",
 ]
+
+# The workers=[...] deprecation fires once per process: legacy suites
+# construct hundreds of trainers and the guidance does not change.
+_WARNED_LEGACY_WORKERS = False
+
+
+def _warn_legacy_workers() -> None:
+    global _WARNED_LEGACY_WORKERS
+    if not _WARNED_LEGACY_WORKERS:
+        _WARNED_LEGACY_WORKERS = True
+        warnings.warn(
+            "FederatedTrainer(workers=[...]) is deprecated; pass "
+            "population=WorkerPopulation.from_workers(workers) (or build a "
+            "WorkerPopulation directly) instead",
+            DeprecationWarning,
+            stacklevel=4,
+        )
 
 
 @dataclass
@@ -94,6 +134,9 @@ class RoundRecord:
     #: simulation detail when running under a FaultScenario: stragglers,
     #: offline ranks, retries, late workers, per-worker wall-clock
     sim: dict | None = None
+    #: True when the round produced no usable updates (e.g. every sampled
+    #: cohort member was offline) and the global model was left untouched
+    skipped: bool = False
 
 
 @dataclass
@@ -123,8 +166,8 @@ class FederatedTrainer:
     def __init__(
         self,
         model: Sequential,
-        workers: list[Worker],
-        server_ranks: list[int],
+        workers=None,
+        server_ranks: list[int] | None = None,
         test_data: Dataset | None = None,
         mechanism: RoundMechanism | None = None,
         server_lr: float | object = 0.1,
@@ -134,9 +177,51 @@ class FederatedTrainer:
         local_engine: str = "fleet",
         scenario: FaultScenario | None = None,
         monitor=None,
+        *,
+        population=None,
+        cohort_size: int | None = None,
+        sampler=None,
+        fleet_shard_size: int | None = None,
     ):
-        if not workers:
-            raise ValueError("need at least one worker")
+        # Break the repro.population -> repro.fl.workers -> repro.fl import
+        # cycle: the population package imports worker classes at module
+        # level, so the trainer must reach back lazily.
+        from ..population import WorkerPopulation, make_sampler
+
+        if population is None and isinstance(workers, WorkerPopulation):
+            # Population passed positionally in the workers slot: the
+            # population-first call shape without keyword ceremony.
+            population, workers = workers, None
+        if population is not None and workers is not None:
+            raise ValueError("pass either population= or workers=, not both")
+        if population is None:
+            if not workers:
+                raise ValueError("need at least one worker")
+            _warn_legacy_workers()
+            population = WorkerPopulation.from_workers(workers)
+            self._owns_population = True
+        else:
+            if not isinstance(population, WorkerPopulation):
+                raise TypeError(
+                    f"population must be a WorkerPopulation, got "
+                    f"{type(population).__name__}"
+                )
+            self._owns_population = False
+        self.population = population
+        if server_ranks is None:
+            raise ValueError("server_ranks is required")
+        # Satellite bugfix: an oversized cohort used to surface only as a
+        # cryptic sampler IndexError deep inside the first round.
+        if cohort_size is not None:
+            if cohort_size <= 0:
+                raise ValueError("cohort_size must be positive")
+            if cohort_size > population.size:
+                raise ValueError(
+                    f"cohort_size {cohort_size} exceeds population size "
+                    f"{population.size}"
+                )
+        if isinstance(sampler, str):
+            sampler = make_sampler(sampler, seed=seed)
         # server_lr may be a constant or a schedule (callable round -> lr)
         if callable(server_lr):
             self._lr_schedule = server_lr
@@ -146,16 +231,52 @@ class FederatedTrainer:
             self._lr_schedule = None
         if reselect_every < 0:
             raise ValueError("reselect_every must be non-negative")
-        ids = [w.worker_id for w in workers]
-        if sorted(ids) != list(range(len(workers))):
-            raise ValueError("worker ids must be exactly 0..N-1")
         self.model = model
-        self.workers = sorted(workers, key=lambda w: w.worker_id)
-        self.num_workers = len(workers)
+        self.num_workers = population.size
         self.server_ranks = sorted(set(server_ranks))
-        # Validate S ⊂ W via the topology module (raises on bad ranks).
-        self.topology = polycentric_topology(self.num_workers, self.server_ranks)
-        validate_roles(self.topology)
+        self.cohort_size = cohort_size
+        self.sampler = sampler
+        self.fleet_shard_size = fleet_shard_size
+        # Dynamic (cross-device) mode: an explicit sampler or a
+        # sub-population cohort means per-round sampling + lazy
+        # materialization. Otherwise static mode keeps the classic
+        # cross-silo loop, bit-for-bit.
+        self._dynamic = sampler is not None or (
+            cohort_size is not None and cohort_size < population.size
+        )
+        if self._dynamic:
+            if self._owns_population:
+                raise ValueError(
+                    "cohort sampling needs an explicit population= "
+                    "(the legacy workers=[...] surface is static-only)"
+                )
+            if scenario is not None:
+                raise ValueError(
+                    "cohort sampling and FaultScenario are mutually "
+                    "exclusive; model device availability/churn on the "
+                    "WorkerPopulation instead"
+                )
+            if self.sampler is None:
+                self.sampler = make_sampler("uniform", seed=seed)
+            if self.cohort_size is None:
+                self.cohort_size = population.size
+            bad = [r for r in self.server_ranks if not 0 <= r < self.num_workers]
+            if bad or not self.server_ranks:
+                raise ValueError(
+                    f"server ranks {bad} outside [0, {self.num_workers})"
+                )
+            # polycentric_topology materializes an O(N·M) networkx graph —
+            # at 10^6 workers that is neither affordable nor needed: the
+            # round loop only ever touches cohort-sized structures.
+            self.topology = None
+            self.workers: list[Worker] = []
+        else:
+            self.workers = population.checkout(range(population.size))
+            # Validate S ⊂ W via the topology module (raises on bad ranks).
+            self.topology = polycentric_topology(
+                self.num_workers, self.server_ranks
+            )
+            validate_roles(self.topology)
         self.test_data = test_data
         self.mechanism: RoundMechanism = mechanism if mechanism is not None else _AcceptAll()
         self.server_lr = server_lr if not callable(server_lr) else None
@@ -196,6 +317,7 @@ class FederatedTrainer:
             )
         self.local_engine = local_engine
         self._fleet: FleetLocalEngine | None = None
+        self._fleet_key: tuple[int, ...] | None = None
         if scenario is not None:
             self._sim_runner = SimRoundRunner(self, scenario)
         # Optional repro.monitor.Monitor: installed as a telemetry sink
@@ -222,6 +344,10 @@ class FederatedTrainer:
         if not 0 <= rank < self.num_workers:
             raise ValueError(f"rank {rank} outside [0, {self.num_workers})")
         self._failed.add(rank)
+        if self._dynamic:
+            # Cross-device mode: the failed id is simply excluded from
+            # every future cohort — no O(population) link sweep needed.
+            return
         for other in range(self.num_workers):
             self.network.set_link_drop_prob(rank, other, 1.0)
             self.network.set_link_drop_prob(other, rank, 1.0)
@@ -238,6 +364,14 @@ class FederatedTrainer:
         servers carry O(N·P/M) each, and fully decentralized nodes carry
         O(P) regardless of N.
         """
+        if self._dynamic:
+            # O(population) dicts are off the table at cross-device scale;
+            # report only the nodes that actually moved bytes.
+            load: dict[int, int] = {}
+            for (src, dst), nbytes in self.network.bytes_sent.items():
+                load[src] = load.get(src, 0) + nbytes
+                load[dst] = load.get(dst, 0) + nbytes
+            return load
         load = {n: 0 for n in range(self.num_workers)}
         for (src, dst), nbytes in self.network.bytes_sent.items():
             load[src] += nbytes
@@ -252,6 +386,85 @@ class FederatedTrainer:
                 raise ValueError(f"schedule produced non-positive lr {lr}")
             return lr
         return self.server_lr
+
+    # -- cohort selection (dynamic mode) --------------------------------------
+
+    def _select_cohort(self, round_idx: int) -> list[Worker]:
+        """Sample, availability-filter and materialize this round's cohort.
+
+        Server ranks are pinned into every cohort (they produce the
+        detection benchmarks ``g_j^j``); they skip the per-round
+        availability draw but still respect churn and injected failures.
+        """
+        prof = self.profiler
+        pop = self.population
+        pop.begin_round(round_idx)
+        sampled = self.sampler.sample(
+            round_idx, pop, self.cohort_size, required=self.server_ranks
+        )
+        required = set(self.server_ranks)
+        live: list[int] = []
+        for wid in sampled:
+            wid = int(wid)
+            if wid in self._failed:
+                continue
+            if wid in required:
+                if pop.is_live(wid):
+                    live.append(wid)
+            elif pop.is_available(wid, round_idx):
+                live.append(wid)
+        cohort = pop.checkout(live, round_idx=round_idx)
+        coverage = pop.coverage()
+        prof.count("trainer.cohort_workers", len(live))
+        prof.gauge("population.cohort_live", len(live))
+        prof.gauge("population.coverage", coverage)
+        prof.event(
+            "population.cohort",
+            {
+                "round": round_idx,
+                "population_size": pop.size,
+                "cohort_target": self.cohort_size,
+                "sampled": int(len(sampled)),
+                "live": len(live),
+                "offline": int(len(sampled)) - len(live),
+                "coverage": coverage,
+            },
+        )
+        return cohort
+
+    def _fleet_for(self, workers: list[Worker]) -> FleetLocalEngine:
+        """The fleet engine for this round's worker set (rebuilt on change)."""
+        key = tuple(w.worker_id for w in workers)
+        if self._fleet is None or self._fleet_key != key:
+            self._fleet = FleetLocalEngine(
+                workers,
+                profiler=self.profiler,
+                shard_size=self.fleet_shard_size,
+            )
+            self._fleet_key = key
+        return self._fleet
+
+    def _skipped_round(self, round_idx: int, reason: str) -> RoundRecord:
+        """Record a round that produced no usable updates (model untouched)."""
+        prof = self.profiler
+        prof.count("trainer.skipped_rounds")
+        prof.event(
+            "trainer.skipped_round", {"round": round_idx, "reason": reason}
+        )
+        test_loss = test_acc = None
+        if self.test_data is not None:
+            with prof.phase("trainer.evaluate"):
+                test_loss, test_acc = evaluate(self.model, self.test_data)
+        return RoundRecord(
+            round_idx=round_idx,
+            test_loss=test_loss,
+            test_acc=test_acc,
+            accepted={},
+            uncertain=set(),
+            mechanism_records={"skipped": reason},
+            grad_norm=0.0,
+            skipped=True,
+        )
 
     # -- one communication round ----------------------------------------------
 
@@ -301,23 +514,32 @@ class FederatedTrainer:
         exclude = (
             self._failed if plan is None else self._failed | set(plan.offline)
         )
+        if self._dynamic:
+            with prof.phase("trainer.cohort"):
+                active = self._select_cohort(round_idx)
+            if not active:
+                return self._skipped_round(round_idx, "empty cohort")
+            if not any(w.worker_id in self.server_ranks for w in active):
+                return self._skipped_round(round_idx, "no live server")
+        else:
+            active = self.workers
         theta = self.model.get_flat_params()
         global_buffers = self.model.get_flat_buffers()
         with prof.phase("trainer.local_compute"):
             if self.local_engine == "fleet":
-                if self._fleet is None:
-                    self._fleet = FleetLocalEngine(
-                        self.workers, profiler=self.profiler
-                    )
-                updates = self._fleet.compute_updates(
+                updates = self._fleet_for(active).compute_updates(
                     theta, global_buffers, exclude=exclude
                 )
             else:
                 updates = {
                     w.worker_id: w.compute_update(theta, global_buffers)
-                    for w in self.workers
+                    for w in active
                     if w.worker_id not in exclude
                 }
+        if self._dynamic and not any(
+            srv in updates for srv in self.server_ranks
+        ):
+            return self._skipped_round(round_idx, "no server update")
         sim_info = None
         with prof.phase("trainer.upload"):
             if self._sim_runner is not None:
@@ -340,10 +562,17 @@ class FederatedTrainer:
             slices=delivered,
             updates=updates,
             uncertain=uncertain,
-            sample_counts={w.worker_id: w.num_samples for w in self.workers},
+            sample_counts={w.worker_id: w.num_samples for w in active},
         )
         with prof.phase("trainer.mechanism"):
             decision = self.mechanism.process_round(ctx)
+        if not self._owns_population:
+            # Round verdicts flow back into the population's out-of-core
+            # reputation store, where reputation-weighted samplers (and
+            # the next session's analyses) read them.
+            reps = decision.records.get("reputations")
+            if reps:
+                self.population.write_reputations(reps)
 
         accepted_ids = [w for w in sorted(delivered) if decision.accept.get(w, False)]
         grad_norm = 0.0
@@ -370,8 +599,13 @@ class FederatedTrainer:
             # and drop statistics per link (the per-node communication
             # load is what S3.2's scalability argument is about).
             tag = f"global:{round_idx}"
+            dests = (
+                [w.worker_id for w in active]
+                if self._dynamic
+                else range(self.num_workers)
+            )
             for j, srv in enumerate(self.server_ranks):
-                for wid in range(self.num_workers):
+                for wid in dests:
                     if wid != srv:
                         self.network.send(srv, wid, tag, agg_slices[j])
             # FedAvg-BN: average accepted workers' running statistics into
@@ -481,5 +715,8 @@ class FederatedTrainer:
         if new_ranks == self.server_ranks:
             return
         self.server_ranks = new_ranks
-        self.topology = polycentric_topology(self.num_workers, self.server_ranks)
-        validate_roles(self.topology)
+        if not self._dynamic:
+            self.topology = polycentric_topology(
+                self.num_workers, self.server_ranks
+            )
+            validate_roles(self.topology)

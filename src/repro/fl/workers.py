@@ -19,8 +19,8 @@ Attackers transform that honest behaviour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -40,6 +40,11 @@ __all__ = [
     "ReplayFreeRider",
     "SampleInflationWorker",
     "ColludingAttacker",
+    "WorkerSpec",
+    "WORKER_ROLES",
+    "register_worker_role",
+    "make_worker",
+    "make_workers",
 ]
 
 
@@ -445,3 +450,109 @@ class ColludingAttacker(Worker):
             attacked=True,
             buffers=buffers,
         )
+
+
+# -- declarative worker-spec registry ------------------------------------------
+#
+# Population rosters (repro.population) and the per-experiment attacker
+# maps share one spawning path: a role name plus keyword parameters,
+# resolved through WORKER_ROLES. Experiments stop hand-rolling
+# ``if kind == ...`` construction loops; a million-worker population
+# stores one WorkerSpec (or a spec function) instead of live objects.
+
+#: role name -> worker class; extend via :func:`register_worker_role`
+WORKER_ROLES: dict[str, type[Worker]] = {
+    "honest": HonestWorker,
+    "sign": SignFlippingWorker,
+    "poison": DataPoisonWorker,
+    "free": FreeRiderWorker,
+    "prob": ProbabilisticAttacker,
+    "noise": GaussianNoiseAttacker,
+    "replay": ReplayFreeRider,
+    "inflate": SampleInflationWorker,
+    "collude": ColludingAttacker,
+}
+
+
+def register_worker_role(name: str, cls: type[Worker]) -> None:
+    """Register a custom worker class under a role name."""
+    if not issubclass(cls, Worker):
+        raise TypeError(f"{cls!r} is not a Worker subclass")
+    WORKER_ROLES[name] = cls
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Declarative recipe for one worker: a role plus its parameters."""
+
+    role: str = "honest"
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.role not in WORKER_ROLES:
+            raise ValueError(
+                f"unknown worker role {self.role!r}; "
+                f"available: {', '.join(sorted(WORKER_ROLES))}"
+            )
+
+    @property
+    def is_malicious(self) -> bool:
+        """Static ground-truth label without constructing the worker."""
+        cls = WORKER_ROLES[self.role]
+        if self.role == "poison":
+            return float(dict(self.params).get("p_d", 0.5)) > 0.0
+        return bool(cls.is_malicious)
+
+
+def make_worker(
+    spec: WorkerSpec,
+    worker_id: int,
+    dataset: Dataset,
+    model_fn: Callable[[], Sequential],
+    seed: int = 0,
+    **common,
+) -> Worker:
+    """Construct one worker from its spec (the single spawning path).
+
+    ``common`` carries the federation-wide hyperparameters (lr,
+    batch_size, local_iters, ...). Data-poison specs default their
+    ``poison_seed`` to ``seed``, matching the long-standing experiment
+    convention, so legacy rosters rebuild bit-identically.
+    """
+    params = dict(spec.params)
+    if spec.role == "poison":
+        params.setdefault("poison_seed", seed)
+    return WORKER_ROLES[spec.role](
+        worker_id, dataset, model_fn, seed=seed, **params, **common
+    )
+
+
+def make_workers(
+    specs: list[WorkerSpec] | Mapping[int, WorkerSpec],
+    datasets: list[Dataset],
+    model_fn: Callable[[], Sequential],
+    seed_fn: Callable[[int], int],
+    **common,
+) -> list[Worker]:
+    """Materialize a full roster: worker ``i`` from ``specs[i]``.
+
+    ``specs`` is either a list aligned with ``datasets`` or a sparse
+    ``{worker_id: spec}`` override map (missing ids default to honest).
+    ``seed_fn(worker_id)`` supplies each worker's private RNG seed.
+    """
+    n = len(datasets)
+    if isinstance(specs, Mapping):
+        bad = set(specs) - set(range(n))
+        if bad:
+            raise ValueError(f"spec ids {sorted(bad)} out of range")
+        default = WorkerSpec()
+        roster = [specs.get(wid, default) for wid in range(n)]
+    else:
+        if len(specs) != n:
+            raise ValueError(f"{len(specs)} specs for {n} datasets")
+        roster = list(specs)
+    return [
+        make_worker(roster[wid], wid, datasets[wid], model_fn,
+                    seed=seed_fn(wid), **common)
+        for wid in range(n)
+    ]

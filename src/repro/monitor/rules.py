@@ -52,6 +52,11 @@ Anomalies:
                             *other* workers; scanned every
                             ``drift_check_stride`` rounds
   ``non-finite-metric``     a metric event carries NaN/Inf
+
+Invariants (``population.cohort``):
+  ``cohort-coverage``       live ≤ sampled ≤ population, all counts
+                            non-negative, coverage in [0, 1] and
+                            non-decreasing across rounds
 """
 
 from __future__ import annotations
@@ -109,6 +114,8 @@ class RuleEngine:
         self._drift_fired: set[int] = set()
         # previous cumulative comm counters, for monotonicity
         self._prev_comm: dict[str, float] | None = None
+        # last seen population coverage, for monotonicity
+        self._prev_coverage: float | None = None
         # block hash -> index of every ledger commit seen, for linkage
         self._blocks: dict[str, int] = {GENESIS_HASH: -1}
         self._dispatch = {
@@ -116,6 +123,7 @@ class RuleEngine:
             "sim.round": self._on_sim_round,
             "ledger.commit": self._on_ledger_commit,
             "ledger.audit": self._on_ledger_audit,
+            "population.cohort": self._on_population_cohort,
             "metric": self._on_metric,
         }
 
@@ -458,6 +466,43 @@ class RuleEngine:
                   "chain_intact": data.get("chain_intact"),
                   "findings": findings,
                   "rounds_checked": data.get("rounds_checked")},
+        )]
+
+    # -- population.cohort -------------------------------------------------------
+
+    def _on_population_cohort(self, event: dict) -> list[Alert]:
+        data = event.get("data") or {}
+        rnd = data.get("round")
+        pop = float(data.get("population_size", 0))
+        sampled = float(data.get("sampled", 0))
+        live = float(data.get("live", 0))
+        coverage = data.get("coverage")
+        problems: list[str] = []
+        if min(pop, sampled, live) < 0:
+            problems.append("negative count")
+        if live > sampled:
+            problems.append("live cohort exceeds sampled cohort")
+        if sampled > pop:
+            problems.append("sampled cohort exceeds population")
+        if coverage is not None:
+            coverage = float(coverage)
+            if not 0.0 <= coverage <= 1.0:
+                problems.append("coverage outside [0, 1]")
+            prev = self._prev_coverage
+            # coverage counts distinct workers ever sampled: it can only grow
+            if prev is not None and coverage < prev - 1e-12:
+                problems.append("coverage decreased")
+            self._prev_coverage = coverage
+        if not problems:
+            return _NO_ALERTS
+        return [Alert(
+            rule="cohort-coverage", kind="invariant",
+            message=f"round {rnd}: cohort accounting inconsistent "
+                    f"({'; '.join(problems)})",
+            seq=event.get("seq"), round=rnd,
+            data={"population_size": pop, "sampled": sampled,
+                  "live": live, "coverage": coverage,
+                  "problems": problems},
         )]
 
     # -- metric ------------------------------------------------------------------

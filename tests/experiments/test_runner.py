@@ -12,7 +12,8 @@ class TestRunFigure:
         paper = [f"fig{i:02d}" for i in range(4, 15)]
         extensions = ["ext-comm", "ext-fault", "ext-noniid"]
         sims = ["sim-churn", "sim-stragglers"]
-        assert sorted(FIGURES) == sorted(paper + extensions + sims)
+        scale = ["population-scale"]
+        assert sorted(FIGURES) == sorted(paper + extensions + sims + scale)
 
     def test_extension_fast_runs(self):
         result, rows = run_figure("ext-fault", fast=True)
