@@ -39,6 +39,7 @@ from repro.core import make_mechanism
 from repro.fl.gradients import split_gradient
 from repro.fl.trainer import RoundContext
 from repro.fl.workers import WorkerUpdate
+from repro.parallel import blas_limits
 from repro.profiling import Profiler
 from repro.telemetry import Telemetry, run_manifest, write_manifest
 
@@ -117,10 +118,13 @@ def time_engine(
     warm = make_mechanism("fifl", threshold=0.0, gamma=0.2, engine=engine)
     warm.profiler = Profiler()
     warm.process_round(contexts[0])
-    t0 = time.perf_counter()
-    for ctx in contexts:
-        mech.process_round(ctx)
-    total = time.perf_counter() - t0
+    # pin the BLAS pool so a multi-threaded BLAS can't skew the
+    # engine-vs-engine comparison machine by machine
+    with blas_limits(1):
+        t0 = time.perf_counter()
+        for ctx in contexts:
+            mech.process_round(ctx)
+        total = time.perf_counter() - t0
     snap = profiler.snapshot()
     phases = {
         name: entry["seconds"] for name, entry in snap["timings"].items()
@@ -164,19 +168,20 @@ def telemetry_overhead(
         mech.profiler = hub
         mechs[key] = mech
     times: dict[str, list[float]] = {"on": [], "off": []}
-    for i in range(samples + 10):
-        ctx = contexts[i % rounds]
-        # alternate which side goes first so neither systematically
-        # inherits the other's warm caches
-        order = ("on", "off") if i % 2 else ("off", "on")
-        for key in order:
-            mech = mechs[key]
-            t0 = time.perf_counter()
-            mech.process_round(ctx)
-            times[key].append(time.perf_counter() - t0)
-        if i % 50 == 0:
-            for hub in hubs.values():
-                hub.flush()
+    with blas_limits(1):
+        for i in range(samples + 10):
+            ctx = contexts[i % rounds]
+            # alternate which side goes first so neither systematically
+            # inherits the other's warm caches
+            order = ("on", "off") if i % 2 else ("off", "on")
+            for key in order:
+                mech = mechs[key]
+                t0 = time.perf_counter()
+                mech.process_round(ctx)
+                times[key].append(time.perf_counter() - t0)
+            if i % 50 == 0:
+                for hub in hubs.values():
+                    hub.flush()
 
     def floor(vals: list[float], k: int = 20) -> float:
         # drop the first few samples (warm-up: BLAS threads, allocator,
@@ -235,16 +240,17 @@ def monitor_overhead(
         mech.profiler = hub
         mechs[key] = mech
     times: dict[str, list[float]] = {"on": [], "off": []}
-    for i in range(samples + 10):
-        ctx = contexts[i % rounds]
-        order = ("on", "off") if i % 2 else ("off", "on")
-        for key in order:
-            mech = mechs[key]
-            hub = hubs[key]
-            t0 = time.perf_counter()
-            mech.process_round(ctx)
-            hub.flush()
-            times[key].append(time.perf_counter() - t0)
+    with blas_limits(1):
+        for i in range(samples + 10):
+            ctx = contexts[i % rounds]
+            order = ("on", "off") if i % 2 else ("off", "on")
+            for key in order:
+                mech = mechs[key]
+                hub = hubs[key]
+                t0 = time.perf_counter()
+                mech.process_round(ctx)
+                hub.flush()
+                times[key].append(time.perf_counter() - t0)
 
     def floor(vals: list[float], k: int = 20) -> float:
         return sum(sorted(vals[10:])[:k]) / k

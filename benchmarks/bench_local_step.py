@@ -47,6 +47,7 @@ except ImportError:  # pragma: no cover - direct CLI use without install
 from repro.datasets import iid_partition, make_blobs, train_test_split
 from repro.fl import FederatedTrainer, HonestWorker, SignFlippingWorker, evaluate
 from repro.nn import build_mlp
+from repro.parallel import blas_limits
 from repro.profiling import Profiler
 from repro.telemetry import Telemetry, run_manifest, write_manifest
 
@@ -139,9 +140,12 @@ def time_engine(
     best: dict | None = None
     for _ in range(repeats):
         trainer = make_trainer(num_workers, engine, seed=seed)
-        t0 = time.perf_counter()
-        history = trainer.run(rounds, eval_every=rounds)
-        total = time.perf_counter() - t0
+        # pin the BLAS pool so a multi-threaded BLAS can't skew the
+        # engine-vs-engine comparison machine by machine
+        with blas_limits(1):
+            t0 = time.perf_counter()
+            history = trainer.run(rounds, eval_every=rounds)
+            total = time.perf_counter() - t0
         phases = {
             name: entry["seconds"]
             for name, entry in history.profile["timings"].items()
@@ -184,10 +188,11 @@ def eval_throughput(n_samples: int = 4096, repeats: int = 5, seed: int = 0) -> d
     )
     model = build_mlp(N_FEATURES, N_CLASSES, hidden=HIDDEN, seed=seed)
     evaluate(model, data)  # warm-up
-    t0 = time.perf_counter()
-    for _ in range(repeats):
-        evaluate(model, data)
-    elapsed = time.perf_counter() - t0
+    with blas_limits(1):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            evaluate(model, data)
+        elapsed = time.perf_counter() - t0
     return {
         "samples": n_samples,
         "repeats": repeats,
@@ -218,16 +223,17 @@ def telemetry_overhead(
         for key, hub in hubs.items()
     }
     times: dict[str, list[float]] = {"on": [], "off": []}
-    for i in range(samples + 5):
-        order = ("on", "off") if i % 2 else ("off", "on")
-        for key in order:
-            trainer = trainers[key]
-            t0 = time.perf_counter()
-            trainer.run_round(i)
-            times[key].append(time.perf_counter() - t0)
-        if i % 25 == 0:
-            for hub in hubs.values():
-                hub.flush()
+    with blas_limits(1):
+        for i in range(samples + 5):
+            order = ("on", "off") if i % 2 else ("off", "on")
+            for key in order:
+                trainer = trainers[key]
+                t0 = time.perf_counter()
+                trainer.run_round(i)
+                times[key].append(time.perf_counter() - t0)
+            if i % 25 == 0:
+                for hub in hubs.values():
+                    hub.flush()
 
     def floor(vals: list[float], k: int = 10) -> float:
         # drop warm-up samples, then average the k fastest

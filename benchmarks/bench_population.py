@@ -47,6 +47,7 @@ from repro.datasets import iid_partition, make_blobs
 from repro.experiments.common import FedExpConfig, build_population
 from repro.fl import FederatedTrainer, HonestWorker
 from repro.nn import build_logreg
+from repro.parallel import blas_limits
 from repro.telemetry import run_manifest, write_manifest
 
 DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000)
@@ -102,10 +103,12 @@ def measure_scale(population: int, cohort: int, rounds: int) -> dict:
     """Rounds/sec and traced peak for one population size (seeded)."""
     tracemalloc.start()
     trainer, pop = _build_trainer(_scale_config(population, cohort, rounds))
-    t0 = time.perf_counter()
-    for t in range(rounds):
-        trainer.run_round(t)
-    elapsed = time.perf_counter() - t0
+    # pin the BLAS pool so throughput numbers compare machine to machine
+    with blas_limits(1):
+        t0 = time.perf_counter()
+        for t in range(rounds):
+            trainer.run_round(t)
+        elapsed = time.perf_counter() - t0
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return {

@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - direct CLI use without install
 from repro.datasets import iid_partition, make_blobs
 from repro.fl import FederatedTrainer, HonestWorker
 from repro.nn import build_logreg
+from repro.parallel import blas_limits
 from repro.sim import FaultScenario
 from repro.telemetry import run_manifest, write_manifest
 
@@ -94,20 +95,23 @@ def run_benchmark(
     }
     times: dict[str, list[float]] = {"direct": [], "sim": []}
     identical = True
-    for t in range(rounds + WARMUP_ROUNDS):
-        # alternate which side goes first so neither systematically
-        # inherits the other's warm caches
-        order = ("direct", "sim") if t % 2 else ("sim", "direct")
-        records = {}
-        for key in order:
-            trainer = trainers[key]
-            t0 = time.perf_counter()
-            records[key] = trainer.run_round(t)
-            times[key].append(time.perf_counter() - t0)
-        identical = identical and (
-            records["direct"].accepted == records["sim"].accepted
-            and records["direct"].uncertain == records["sim"].uncertain
-        )
+    # pin the BLAS pool so a multi-threaded BLAS can't skew the
+    # direct-vs-sim comparison machine by machine
+    with blas_limits(1):
+        for t in range(rounds + WARMUP_ROUNDS):
+            # alternate which side goes first so neither systematically
+            # inherits the other's warm caches
+            order = ("direct", "sim") if t % 2 else ("sim", "direct")
+            records = {}
+            for key in order:
+                trainer = trainers[key]
+                t0 = time.perf_counter()
+                records[key] = trainer.run_round(t)
+                times[key].append(time.perf_counter() - t0)
+            identical = identical and (
+                records["direct"].accepted == records["sim"].accepted
+                and records["direct"].uncertain == records["sim"].uncertain
+            )
     identical = identical and (
         trainers["direct"].model.get_flat_params().tobytes()
         == trainers["sim"].model.get_flat_params().tobytes()

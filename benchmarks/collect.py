@@ -12,13 +12,21 @@ so the performance story across the PR stack is one diff-able document:
 ``--record`` extracts the current headline metrics from each
 ``BENCH_*.json`` and appends one row per bench (keyed by bench name,
 labelled with ``--label``; re-recording an existing label replaces its
-row in place). ``--check`` recomputes the same headlines and fails
-(exit 1) when any tracked metric regressed beyond tolerance relative to
-the *last recorded row* — the CI guard that a PR cannot silently
-degrade a headline it inherited. The check is direction-aware: speedups
-must not fall, overheads must not rise. Near-zero overhead percentages
-get an absolute slack floor (``ABS_SLACK``) so timing jitter on a
-sub-1% number is not flagged as a 20% "regression".
+row in place). A row whose metrics are an *exact* copy of the previous
+row's is marked ``"stale": true`` — benchmark timings never reproduce
+float-for-float, so exact equality means the manifest was carried
+forward from the previous PR without re-running the bench. Stale rows
+stay in the trajectory (the carry-forward itself is part of the
+history) but are skipped when picking the ``--check`` baseline, so a
+stale copy can never launder a regression into the new baseline.
+
+``--check`` recomputes the same headlines and fails (exit 1) when any
+tracked metric regressed beyond tolerance relative to the *last
+non-stale row* — the CI guard that a PR cannot silently degrade a
+headline it inherited. The check is direction-aware: speedups must not
+fall, overheads must not rise. Near-zero overhead percentages get an
+absolute slack floor (``ABS_SLACK``) so timing jitter on a sub-1%
+number is not flagged as a 20% "regression".
 
 No benchmark is *run* here: the tool only reads the committed
 manifests, so the CI step is cheap and deterministic.
@@ -40,7 +48,7 @@ DEFAULT_TOLERANCE = 0.20
 #: absolute slack (same unit as the metric) added on top of the relative
 #: tolerance for percentage metrics that legitimately sit near zero, and
 #: for bytes/worker figures whose numerator is a jittery allocator peak
-ABS_SLACK = {"pct": 2.0, "bytes_per_worker": 8.0}
+ABS_SLACK = {"pct": 2.0, "bytes_per_worker": 8.0, "speedup": 0.25}
 
 
 def _max_size_entry(manifest: dict) -> tuple[str, dict]:
@@ -119,9 +127,29 @@ def extract_population(manifest: dict) -> dict:
     }
 
 
+def extract_parallel(manifest: dict) -> dict:
+    """Headlines of BENCH_parallel.json (execution-backend scaling).
+
+    The speedup headline gets an absolute slack unit: on few-core
+    recording machines the parallel best hovers around 1.0x where the
+    relative tolerance alone is tighter than scheduler jitter.
+    """
+    n, entry = _max_size_entry(manifest)
+    return {
+        f"speedup_parallel_n{n}": {
+            "value": float(entry["speedup_best"]),
+            "better": "higher", "unit": "speedup",
+        },
+        "bitwise_identical": {
+            "value": bool(manifest["bitwise_identical"]), "better": "exact",
+        },
+    }
+
+
 EXTRACTORS = {
     "engine": extract_engine,
     "local_step": extract_local_step,
+    "parallel": extract_parallel,
     "population": extract_population,
     "sim": extract_sim,
 }
@@ -150,6 +178,23 @@ def load_trajectory(path: Path = TRAJECTORY) -> dict:
     return {"benches": {}}
 
 
+def _mark_stale(rows: list[dict]) -> None:
+    """Flag rows whose metrics are byte-copies of the previous row.
+
+    Real benchmark reruns never reproduce timings float-for-float, so an
+    exactly-equal metrics dict means the manifest was carried forward
+    unchanged from the previous PR. The scan runs over the whole history
+    on every record, so carry-forwards that predate this check are
+    flagged retroactively.
+    """
+    for i, row in enumerate(rows):
+        stale = i > 0 and row.get("metrics") == rows[i - 1].get("metrics")
+        if stale:
+            row["stale"] = True
+        else:
+            row.pop("stale", None)
+
+
 def record(label: str, path: Path = TRAJECTORY,
            bench_dir: Path = BENCH_DIR) -> dict:
     """Fold the current headlines into the trajectory under ``label``."""
@@ -164,6 +209,8 @@ def record(label: str, path: Path = TRAJECTORY,
                 break
         else:
             rows.append(row)
+    for rows in benches.values():
+        _mark_stale(rows)
     path.write_text(json.dumps(traj, indent=2, sort_keys=True) + "\n")
     return traj
 
@@ -190,7 +237,11 @@ def check(tolerance: float = DEFAULT_TOLERANCE, path: Path = TRAJECTORY,
                 f"(run collect.py --record --label <PR>)"
             )
             continue
-        baseline = rows[-1]
+        # stale rows are carried-forward copies, not fresh measurements —
+        # regress against the last row that was actually re-run
+        baseline = next(
+            (r for r in reversed(rows) if not r.get("stale")), rows[-1]
+        )
         base_metrics = baseline.get("metrics", {})
         for metric, spec in metrics.items():
             base_spec = base_metrics.get(metric)
@@ -232,6 +283,8 @@ def show(path: Path = TRAJECTORY) -> list[str]:
                     f"{metric}={v:.4g}" if isinstance(v, float)
                     else f"{metric}={v}"
                 )
+            if row.get("stale"):
+                parts.append("[stale: carried forward]")
             lines.append(f"  {row.get('label', '?'):<8} " + "  ".join(parts))
     return lines
 

@@ -178,6 +178,12 @@ class FedExpConfig:
     # shard streaming: bound round-kernel and fleet temporaries by this
     # many workers per shard (None = whole cohort at once)
     shard_size: int | None = None
+    # execution backend for the fleet GEMMs and sharded round kernels:
+    # "serial" | "thread" | "process" (repro.parallel). One pool is owned
+    # by the trainer and shared with the mechanism; every backend is
+    # byte-identical to serial, so this is purely a throughput knob.
+    backend: str = "serial"
+    max_workers: int | None = None
 
     def scaled(self, **overrides) -> "FedExpConfig":
         """Copy with overrides (e.g. full-paper scale)."""
@@ -370,6 +376,8 @@ def run_federated(
         cohort_size=cfg.cohort_size,
         sampler=cfg.sampler,
         fleet_shard_size=cfg.shard_size,
+        backend=cfg.backend,
+        max_workers=cfg.max_workers,
     )
     # High-intensity attacks legitimately blow the model up (the paper:
     # "loss becomes NaN" at p_s >= 10); silence the float warnings so the

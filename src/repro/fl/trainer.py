@@ -45,6 +45,7 @@ import numpy as np
 from ..comm import Network, polycentric_topology, validate_roles
 from ..datasets import Dataset
 from ..nn import Sequential
+from ..parallel.backend import ExecutionBackend, make_backend
 from ..profiling import get_profiler, profile_delta
 from ..sim import FaultScenario, SimRoundRunner, Simulator, make_latency
 from .evaluation import evaluate
@@ -182,6 +183,8 @@ class FederatedTrainer:
         cohort_size: int | None = None,
         sampler=None,
         fleet_shard_size: int | None = None,
+        backend: str | ExecutionBackend = "serial",
+        max_workers: int | None = None,
     ):
         # Break the repro.population -> repro.fl.workers -> repro.fl import
         # cycle: the population package imports worker classes at module
@@ -316,6 +319,13 @@ class FederatedTrainer:
                 f"local_engine must be 'fleet' or 'scalar', got {local_engine!r}"
             )
         self.local_engine = local_engine
+        # Execution backend (PR 7): one pool owned by the trainer, shared
+        # by the fleet engine's local-SGD shards and — when the mechanism
+        # advertises attach_backend() — the round kernels' row shards.
+        # "serial" is the differential oracle and the default.
+        self.backend = make_backend(backend, max_workers)
+        if hasattr(self.mechanism, "attach_backend"):
+            self.mechanism.attach_backend(self.backend)
         self._fleet: FleetLocalEngine | None = None
         self._fleet_key: tuple[int, ...] | None = None
         if scenario is not None:
@@ -436,10 +446,15 @@ class FederatedTrainer:
         """The fleet engine for this round's worker set (rebuilt on change)."""
         key = tuple(w.worker_id for w in workers)
         if self._fleet is None or self._fleet_key != key:
+            if self._fleet is not None:
+                # Unwind the old cohort's replicated state / shm segments
+                # before the pool starts caching the new one's.
+                self._fleet.close()
             self._fleet = FleetLocalEngine(
                 workers,
                 profiler=self.profiler,
                 shard_size=self.fleet_shard_size,
+                backend=self.backend,
             )
             self._fleet_key = key
         return self._fleet

@@ -105,6 +105,12 @@ class MonitorConfig:
     #: (cumulative drift is a slow signal; a stride keeps the per-round
     #: cost down without changing what can be detected)
     drift_check_stride: int = 8
+    #: a parallel shard is a straggler when its wall time exceeds this
+    #: multiple of the dispatch's median shard time...
+    shard_straggler_factor: float = 4.0
+    #: ...and is at least this many seconds (filters micro-dispatch noise,
+    #: where scheduler jitter alone spans orders of magnitude)
+    shard_straggler_min_s: float = 0.05
     #: sliding window (rounds) for the sim SLO rate
     slo_window: int = 8
     #: sim rounds observed before the SLO detector may fire

@@ -46,6 +46,10 @@ Anomalies:
                             (cap breach is edge-triggered likewise)
   ``slo-degraded``          windowed fraction of degraded sim rounds
                             (late/offline) above the SLO budget
+  ``shard-straggler``       one parallel shard's wall time far above its
+                            siblings' median in a ``parallel.round``
+                            dispatch (load imbalance / a stalled pool
+                            slot), gated by an absolute time floor
   ``reputation-drift``      one worker's cumulative reputation delta
                             falls ``drift_sigma`` leave-one-out cohort-σ
                             (and an absolute gap) below the mean of the
@@ -124,6 +128,7 @@ class RuleEngine:
             "ledger.commit": self._on_ledger_commit,
             "ledger.audit": self._on_ledger_audit,
             "population.cohort": self._on_population_cohort,
+            "parallel.round": self._on_parallel_round,
             "metric": self._on_metric,
         }
 
@@ -503,6 +508,46 @@ class RuleEngine:
             data={"population_size": pop, "sampled": sampled,
                   "live": live, "coverage": coverage,
                   "problems": problems},
+        )]
+
+    # -- parallel.round ----------------------------------------------------------
+
+    def _on_parallel_round(self, event: dict) -> list[Alert]:
+        """One shard running far longer than its dispatch siblings.
+
+        Pure function of the event's own shard-time list (no cross-round
+        state): a shard is a straggler when it exceeds ``factor x`` the
+        dispatch median *and* an absolute floor — tiny dispatches see
+        orders-of-magnitude scheduler jitter that means nothing.
+        """
+        data = event.get("data") or {}
+        cfg = self.config
+        max_s = data.get("max_shard_s")
+        median_s = data.get("median_shard_s")
+        if max_s is None or median_s is None:
+            return _NO_ALERTS
+        max_s = float(max_s)
+        median_s = float(median_s)
+        if max_s < cfg.shard_straggler_min_s:
+            return _NO_ALERTS
+        if max_s <= cfg.shard_straggler_factor * median_s:
+            return _NO_ALERTS
+        shard_s = [float(s) for s in data.get("shard_s", ())]
+        worst = shard_s.index(max_s) if max_s in shard_s else None
+        return [Alert(
+            rule="shard-straggler", kind="anomaly",
+            message=f"{data.get('phase')}: shard {worst} took {max_s:.3f}s, "
+                    f"{max_s / median_s if median_s > 0 else float('inf'):.1f}x "
+                    f"the dispatch median ({median_s:.3f}s) on backend "
+                    f"{data.get('backend')!r}",
+            seq=event.get("seq"), round=None,
+            data={"phase": data.get("phase"),
+                  "backend": data.get("backend"),
+                  "pool_size": data.get("pool_size"),
+                  "shard": worst,
+                  "max_shard_s": max_s,
+                  "median_shard_s": median_s,
+                  "factor": cfg.shard_straggler_factor},
         )]
 
     # -- metric ------------------------------------------------------------------

@@ -1,0 +1,163 @@
+"""Process-pool side of the parallel fleet engine (picklable, stateless API).
+
+The fleet local-SGD step is the textbook case for a process pool: pure
+GEMM chains over read-only inputs. What must NOT cross the process
+boundary every round is the bulky read-only state — the architecture
+template and every shard worker's private dataset. This module implements
+the lazy-replication protocol the parent
+(:class:`repro.fl.fleet_compute.FleetLocalEngine`) drives:
+
+* the parent ships :class:`FleetShardState` **once** per (shard, slot) —
+  the deterministic task→slot assignment of
+  :class:`~repro.parallel.backend.ProcessBackend` makes "which slot
+  already has it" a pure parent-side bookkeeping fact;
+* every round thereafter ships only the global parameter vector, the
+  minibatch index plan and (optionally) a shared-memory write window;
+* the child stacks the template into a cached
+  :class:`~repro.nn.fleet.FleetSequential`, replays the local steps, and
+  writes the resulting ``(n, D)`` gradient block either **zero-copy into
+  the parent's** :class:`~repro.population.sharding.SharedGradientBuffer`
+  segment or (shm-denied sandboxes) back over the pipe.
+
+RNG fidelity: the child never touches a worker RNG. The parent draws
+every minibatch index from each worker's own generator — the exact calls
+the serial paths make — and ships the plan, so worker streams stay
+byte-identical no matter where the GEMMs ran, and attacker draws in
+``finalize_update`` (parent-side) line up draw-for-draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.fleet import FleetSequential, FleetSoftmaxCrossEntropy
+
+__all__ = ["FleetShardState", "fleet_shard_task", "evict_shard_state"]
+
+
+@dataclass
+class FleetShardState:
+    """Read-only per-shard state, replicated to a slot process once."""
+
+    template: object  # Sequential architecture template (picklable)
+    xs: list  # per-worker feature arrays, shard order
+    ys: list  # per-worker label arrays, shard order
+    lrs: np.ndarray  # (n,) float64 per-worker learning rates
+    batch: int
+    local_iters: int
+
+
+class _CachedShard:
+    """Child-side materialization of one :class:`FleetShardState`."""
+
+    def __init__(self, state: FleetShardState):
+        self.fleet = FleetSequential(state.template, len(state.xs))
+        self.loss_fn = FleetSoftmaxCrossEntropy()
+        self.xs = state.xs
+        self.ys = state.ys
+        self.lrs = np.asarray(state.lrs, dtype=np.float64)
+        self.batch = int(state.batch)
+        self.local_iters = int(state.local_iters)
+
+
+#: per-process shard-state cache, keyed by the parent's state key
+_STATE: dict = {}
+#: per-process shm attachments, keyed by segment name
+_SHM: dict = {}
+
+
+def _attach_shm(name: str, rows: int, dim: int) -> np.ndarray:
+    entry = _SHM.get(name)
+    if entry is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        # The parent owns the segment's lifetime (it created it and will
+        # unlink it); an attach must not also register it with a resource
+        # tracker, or the attacher's tracker "cleans up" a segment the
+        # owner already unlinked and warns at exit. CPython < 3.13
+        # registers unconditionally on attach, so suppress it here
+        # (3.13+ has SharedMemory(..., track=False) for exactly this).
+        register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+        array = np.ndarray((rows, dim), dtype=np.float64, buffer=shm.buf)
+        _SHM[name] = entry = (shm, array)
+    return entry[1]
+
+
+def evict_shard_state(keys=(), shm_names=()) -> int:
+    """Drop cached shard state / shm attachments (regroup housekeeping)."""
+    dropped = 0
+    for key in keys:
+        if _STATE.pop(key, None) is not None:
+            dropped += 1
+    for name in shm_names:
+        entry = _SHM.pop(name, None)
+        if entry is not None:
+            entry[0].close()
+            dropped += 1
+    return dropped
+
+
+def fleet_shard_task(
+    key,
+    state: FleetShardState | None,
+    theta: np.ndarray,
+    global_buffers: np.ndarray | None,
+    indices: np.ndarray,
+    shm_spec: tuple | None,
+):
+    """Run one shard's fleet local steps; return ``(grads|None, buffers)``.
+
+    ``indices`` is the parent-drawn ``(local_iters, n, b)`` minibatch
+    plan. With ``shm_spec=(name, rows, dim, row_start)`` the gradient
+    block is written into the shared segment and ``grads`` comes back
+    ``None``; otherwise the block returns over the pipe.
+
+    The arithmetic is line-for-line the serial
+    ``FleetLocalEngine._run_group`` body, which is what makes the
+    process backend bit-identical to serial: sharding commutes with every
+    per-worker kernel (PR 6's property), and this task adds no other op.
+    """
+    if state is not None:
+        _STATE[key] = _CachedShard(state)
+    cached = _STATE.get(key)
+    if cached is None:
+        raise RuntimeError(
+            f"fleet shard state {key!r} not replicated to this slot "
+            f"(task/slot assignment drifted?)"
+        )
+    fleet, loss_fn = cached.fleet, cached.loss_fn
+    n, b = len(cached.xs), cached.batch
+    fleet.load_flat_params(theta)
+    if (
+        global_buffers is not None
+        and global_buffers.size
+        and fleet.num_buffer_values
+    ):
+        fleet.load_flat_buffers(global_buffers)
+    feat = cached.xs[0].shape[1:]
+    xb = np.empty((n, b) + feat)
+    yb = np.empty((n, b), dtype=np.int64)
+    for it in range(cached.local_iters):
+        for i in range(n):
+            idx = indices[it, i]
+            xb[i] = cached.xs[i][idx]
+            yb[i] = cached.ys[i][idx]
+        logits = fleet.forward(xb, training=True)
+        loss_fn(logits, yb)
+        fleet.backward(loss_fn.backward())
+        fleet.sgd_step(cached.lrs)
+    grads = (theta[None, :] - fleet.get_flat_params()) / cached.lrs[:, None]
+    bufs = fleet.get_flat_buffers() if fleet.num_buffer_values else None
+    if shm_spec is not None:
+        name, rows, dim, row_start = shm_spec
+        block = _attach_shm(name, rows, dim)
+        block[row_start : row_start + n] = grads
+        return None, bufs
+    return grads, bufs

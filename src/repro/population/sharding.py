@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["iter_row_shards", "SharedGradientBuffer", "allocate_gradient_matrix"]
+__all__ = [
+    "iter_row_shards",
+    "balanced_shards",
+    "SharedGradientBuffer",
+    "allocate_gradient_matrix",
+]
 
 
 def iter_row_shards(num_rows: int, shard_size: int | None):
@@ -40,6 +45,28 @@ def iter_row_shards(num_rows: int, shard_size: int | None):
         return
     for start in range(0, num_rows, shard_size):
         yield start, min(start + shard_size, num_rows)
+
+
+def balanced_shards(num_rows: int, num_shards: int) -> list[tuple[int, int]]:
+    """Split ``num_rows`` into at most ``num_shards`` near-equal windows.
+
+    The parallel backends use this to cut one dispatch into one task per
+    pool slot: sizes differ by at most one row, empty windows are never
+    emitted, and the windows tile ``[0, num_rows)`` in order — so a
+    shard-order concatenation reproduces the unsharded result exactly.
+    """
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    num_shards = min(num_shards, num_rows)
+    shards = []
+    start = 0
+    for i in range(num_shards):
+        size = num_rows // num_shards + (1 if i < num_rows % num_shards else 0)
+        shards.append((start, start + size))
+        start += size
+    return shards
 
 
 class SharedGradientBuffer:

@@ -1,0 +1,48 @@
+"""The BLAS thread-count guard: pins inside the block, restores after."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import blas_limits, blas_thread_count
+
+
+def test_limit_applies_and_restores():
+    before = blas_thread_count()
+    with blas_limits(1):
+        inside = blas_thread_count()
+        if inside is not None:  # controllable BLAS on this build
+            assert inside == 1
+        # GEMMs still work while pinned
+        a = np.random.default_rng(0).standard_normal((32, 32))
+        assert np.isfinite(a @ a).all()
+    assert blas_thread_count() == before
+
+
+def test_nested_limits_restore_in_order():
+    before = blas_thread_count()
+    with blas_limits(1):
+        with blas_limits(1):
+            pass
+        if blas_thread_count() is not None:
+            assert blas_thread_count() == 1
+    assert blas_thread_count() == before
+
+
+def test_restores_on_exception():
+    before = blas_thread_count()
+    with pytest.raises(RuntimeError):
+        with blas_limits(1):
+            raise RuntimeError("inside")
+    assert blas_thread_count() == before
+
+
+def test_none_is_noop():
+    before = blas_thread_count()
+    with blas_limits(None):
+        assert blas_thread_count() == before
+
+
+def test_nonpositive_limit_rejected():
+    with pytest.raises(ValueError):
+        with blas_limits(0):
+            pass

@@ -89,6 +89,48 @@ class TestRecord:
         assert [r["label"] for r in rows] == ["PR4", "PR5"]
 
 
+class TestStaleRows:
+    def test_carried_forward_row_marked_stale(self, bench_dir, trajectory):
+        # identical metrics across labels = the bench was not re-run
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        rows = json.loads(trajectory.read_text())["benches"]["engine"]
+        assert "stale" not in rows[0]
+        assert rows[1]["stale"] is True
+
+    def test_fresh_rerun_clears_the_mark(self, bench_dir, trajectory):
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        (bench_dir / "BENCH_engine.json").write_text(
+            json.dumps(engine_manifest(speedup=2.1))
+        )
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        rows = json.loads(trajectory.read_text())["benches"]["engine"]
+        assert "stale" not in rows[1]
+
+    def test_check_baseline_skips_stale_rows(self, bench_dir, trajectory):
+        # PR4 records a fresh 2.0x; PR5 carries it forward (stale); the
+        # baseline for --check must still be the fresh PR4 measurement
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        traj = json.loads(trajectory.read_text())
+        rows = traj["benches"]["engine"]
+        assert rows[1]["stale"] is True
+        # sanity-check the selection: poison the stale row's value so
+        # using it as baseline would flag the (unchanged) current state
+        rows[1]["metrics"]["speedup_total_n256"]["value"] = 99.0
+        trajectory.write_text(json.dumps(traj))
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_show_renders_stale_marker(self, bench_dir, trajectory):
+        collect.record("PR4", path=trajectory, bench_dir=bench_dir)
+        collect.record("PR5", path=trajectory, bench_dir=bench_dir)
+        lines = collect.show(path=trajectory)
+        assert any("PR5" in l and "[stale: carried forward]" in l
+                   for l in lines)
+        assert not any("PR4" in l and "stale" in l for l in lines)
+
+
 class TestCheck:
     def test_passes_when_unchanged(self, bench_dir, trajectory):
         collect.record("PR5", path=trajectory, bench_dir=bench_dir)
