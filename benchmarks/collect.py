@@ -48,7 +48,8 @@ DEFAULT_TOLERANCE = 0.20
 #: absolute slack (same unit as the metric) added on top of the relative
 #: tolerance for percentage metrics that legitimately sit near zero, and
 #: for bytes/worker figures whose numerator is a jittery allocator peak
-ABS_SLACK = {"pct": 2.0, "bytes_per_worker": 8.0, "speedup": 0.25}
+ABS_SLACK = {"pct": 2.0, "bytes_per_worker": 8.0, "speedup": 0.25,
+             "seconds": 0.005}
 
 
 def _max_size_entry(manifest: dict) -> tuple[str, dict]:
@@ -71,7 +72,8 @@ def extract_engine(manifest: dict) -> dict:
             "value": float(entry["speedup_kernels"]), "better": "higher",
         },
     }
-    for key in ("telemetry_overhead", "monitor_overhead"):
+    for key in ("telemetry_overhead", "monitor_overhead",
+                "resource_overhead"):
         block = manifest.get(key)
         if block is not None:
             metrics[f"{key}_pct"] = {
@@ -146,10 +148,41 @@ def extract_parallel(manifest: dict) -> dict:
     }
 
 
+def extract_perf(manifest: dict) -> dict:
+    """Headlines of BENCH_perf.json (perf-observability layer).
+
+    The p50 round wall time is the rounds/sec headline (absolute slack
+    in seconds: at ~1 ms medians the relative tolerance alone is tighter
+    than shared-machine jitter). ``top_phase`` is informational
+    (``better: "none"``): which phase dominates is worth tracking in the
+    trajectory but a shift is attribution, not a regression.
+    """
+    return {
+        "p50_round_wall_s": {
+            "value": float(manifest["p50_round_wall_s"]),
+            "better": "lower", "unit": "seconds",
+        },
+        "top_phase": {
+            "value": manifest.get("top_phase"), "better": "none",
+        },
+        "perfetto_valid": {
+            "value": bool(manifest["perfetto_valid"]), "better": "exact",
+        },
+        "probe_trace_identical": {
+            "value": bool(manifest["probe_trace_identical"]),
+            "better": "exact",
+        },
+        "diff_zero": {
+            "value": bool(manifest["diff_zero"]), "better": "exact",
+        },
+    }
+
+
 EXTRACTORS = {
     "engine": extract_engine,
     "local_step": extract_local_step,
     "parallel": extract_parallel,
+    "perf": extract_perf,
     "population": extract_population,
     "sim": extract_sim,
 }
@@ -249,6 +282,8 @@ def check(tolerance: float = DEFAULT_TOLERANCE, path: Path = TRAJECTORY,
                 continue  # metric is new in this PR; nothing to regress
             value, base = spec["value"], base_spec["value"]
             better = spec.get("better", "higher")
+            if better == "none":
+                continue  # informational metric: tracked, never gated
             if better == "exact":
                 if value != base:
                     problems.append(

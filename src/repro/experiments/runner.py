@@ -22,7 +22,10 @@ summary, and exits non-zero if anything failed.
 Every figure runs under a fresh :class:`repro.monitor.Monitor`: its
 alert summary lands in the ``_meta.alerts`` block, post-mortem dumps go
 next to the JSON results, and ``--strict`` turns any alert into a
-non-zero exit (the CI clean-run gate).
+non-zero exit (the CI clean-run gate). A per-figure
+:class:`repro.perf.ResourceProbe` adds ``_meta.resources`` (RSS
+envelope, GC pauses) and the span stream is folded into ``_meta.perf``
+(round wall-time percentiles + the top phase by self time).
 
 Set ``REPRO_TRACE=/path/to/trace.jsonl`` to also stream the full
 telemetry trace (spans, mechanism metrics, sim.round events) to a JSONL
@@ -40,6 +43,8 @@ import traceback
 from pathlib import Path
 
 from ..monitor import Monitor, MonitorConfig
+from ..perf.aggregate import perf_summary
+from ..perf.resources import ResourceProbe
 from ..telemetry import (
     JsonlSink,
     MemorySink,
@@ -142,6 +147,12 @@ def main(argv: list[str] | None = None) -> int:
         # sees (and attributes alerts to) this figure's slice
         telemetry.flush()
         monitor.install(telemetry)
+        # Resource side stream for the figure: one sample before, one
+        # after (figures run many rounds internally; the envelope is the
+        # headline). Probes never emit into the hub, so REPRO_TRACE
+        # output is unchanged by them.
+        probe = ResourceProbe()
+        probe.sample(None)
         t0 = time.time()
         try:
             result, rows = run_figure(fig_id, fast=args.fast)
@@ -152,12 +163,15 @@ def main(argv: list[str] | None = None) -> int:
             telemetry.flush()
             monitor.dump_postmortem("figure raised")
             monitor.uninstall()
+            probe.close()
             total_alerts += len(monitor.alerts)
             continue
         finally:
             telemetry.flush()
             monitor.uninstall()
         elapsed = time.time() - t0
+        probe.sample(None)
+        probe.close()
         status[fig_id] = "ok"
         total_alerts += len(monitor.alerts)
         print(f"\n=== {fig_id} ({elapsed:.1f}s) ===")
@@ -183,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
                 "elapsed_s": elapsed,
                 "profile": profile_delta(before, telemetry.snapshot()),
                 "trace": trace_summary(fig_events),
+                "perf": perf_summary(fig_events),
+                "resources": probe.summary(),
                 "alerts": monitor.alerts_summary(),
             }
             path = out_dir / f"{fig_id}.json"

@@ -148,6 +148,9 @@ class TrainingHistory:
     # per-phase wall-clock/counters for this run (see repro.profiling):
     # {"timings": {phase: {"seconds", "calls"}}, "counters": {...}}
     profile: dict = field(default_factory=dict)
+    # ResourceProbe summary for this run when a probe was attached
+    # (see repro.perf.resources): rss start/peak/growth, GC pauses, ...
+    resources: dict = field(default_factory=dict)
 
     def series(self, key: str) -> list:
         """Extract one telemetry field across rounds (None entries kept)."""
@@ -178,6 +181,7 @@ class FederatedTrainer:
         local_engine: str = "fleet",
         scenario: FaultScenario | None = None,
         monitor=None,
+        probe=None,
         *,
         population=None,
         cohort_size: int | None = None,
@@ -336,6 +340,11 @@ class FederatedTrainer:
         # dump if training raises. The monitor never emits into the hub,
         # so attaching it does not change the trace.
         self.monitor = monitor
+        # Optional repro.perf.ResourceProbe, sampled at round boundaries
+        # during run(). Samples live on a side stream (forwarded to the
+        # monitor via observe_resource, never emitted into the hub), so a
+        # probed run's seeded trace stays byte-identical.
+        self.probe = probe
 
     @property
     def num_servers(self) -> int:
@@ -670,6 +679,7 @@ class FederatedTrainer:
         saved_test = self.test_data
         before = self.profiler.snapshot()
         monitor = self.monitor
+        probe = self.probe
         if monitor is not None:
             # drain events deferred before this run so the monitor only
             # sees (and attributes alerts to) this training run's stream
@@ -692,6 +702,13 @@ class FederatedTrainer:
                         # watchdog sees them before the next round starts
                         # (strict mode raises MonitorError from here).
                         self.profiler.flush()
+                    if probe is not None:
+                        # Round-boundary resource sample; forwarded to the
+                        # monitor on the side stream so the leak/gc-pause
+                        # watchdogs see it without touching the trace.
+                        sample = probe.sample(t)
+                        if sample is not None and monitor is not None:
+                            monitor.observe_resource(sample)
                     if self.reselect_every and (t + 1) % self.reselect_every == 0:
                         self._reselect_servers()
         except BaseException as exc:
@@ -705,7 +722,12 @@ class FederatedTrainer:
                     self.profiler.flush()
                 except MonitorError:
                     pass
-                monitor.dump_postmortem(f"exception: {type(exc).__name__}")
+                from ..parallel.backend import backend_summary
+
+                monitor.dump_postmortem(
+                    f"exception: {type(exc).__name__}",
+                    context={"backend": backend_summary(self.backend)},
+                )
             raise
         finally:
             # An exception mid-run must not leave the eval-toggling hack
@@ -716,6 +738,8 @@ class FederatedTrainer:
         # Per-run phase timings: the delta against whatever the (shared)
         # profiler had already accumulated before this run started.
         history.profile = profile_delta(before, self.profiler.snapshot())
+        if probe is not None:
+            history.resources = probe.summary()
         return history
 
     def _reselect_servers(self) -> None:

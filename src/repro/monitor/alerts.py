@@ -118,6 +118,31 @@ class MonitorConfig:
     #: alert when more than this fraction of windowed rounds degraded
     slo_max_degraded_frac: float = 0.25
 
+    # -- resource probes (repro.perf side stream) ---------------------------
+    #: rss-growth leak watchdog: alert when RSS exceeds this multiple of
+    #: the baseline (the minimum over the warmup samples)...
+    rss_growth_factor: float = 1.5
+    #: ...and has grown by at least this many bytes — allocator noise on
+    #: a small process can easily double RSS without meaning anything
+    rss_growth_min_bytes: int = 256 * 1024 * 1024
+    #: resource samples observed before the leak watchdog may fire
+    rss_warmup_samples: int = 3
+    #: gc-pause SLO: alert when a sampling window's longest collector
+    #: pause exceeds this many seconds
+    gc_pause_slo_s: float = 0.05
+
+    # -- round wall-time degradation (trainer.round spans) ------------------
+    #: rounds/sec degradation: alert when the sliding-window median round
+    #: wall time exceeds this multiple of the warmup baseline median...
+    round_time_factor: float = 2.5
+    #: ...and is at least this many seconds (micro-round scheduler jitter
+    #: spans orders of magnitude and means nothing)
+    round_time_min_s: float = 0.005
+    #: rounds forming the baseline median (the warmup prefix)
+    round_time_warmup: int = 8
+    #: sliding-window length for the degraded median
+    round_time_window: int = 8
+
     # -- flight recorder ----------------------------------------------------
     #: events retained in the post-mortem ring
     ring_size: int = 512

@@ -59,6 +59,17 @@ class Monitor:
     def close(self) -> None:
         pass
 
+    def observe_resource(self, sample: dict) -> None:
+        """Feed one :class:`~repro.perf.ResourceProbe` sample to the rules.
+
+        Resource samples travel on a side stream — they are handed to the
+        monitor directly (never emitted into the hub), so the leak and
+        GC-pause watchdogs run without changing a seeded trace's bytes.
+        The wrapped event lands in the flight-recorder ring like any
+        other, so post-mortems show the resource history too.
+        """
+        self.emit({"type": "resource.sample", "data": dict(sample)})
+
     # -- hub wiring --------------------------------------------------------------
 
     def install(self, hub) -> "Monitor":
@@ -92,9 +103,15 @@ class Monitor:
             "alerts": [a.to_dict() for a in self.alerts],
         }
 
-    def dump_postmortem(self, reason: str) -> str | None:
-        """Force a post-mortem dump (e.g. from a trainer crash handler)."""
-        return self.recorder.dump(reason, self.alerts)
+    def dump_postmortem(
+        self, reason: str, context: dict | None = None
+    ) -> str | None:
+        """Force a post-mortem dump (e.g. from a trainer crash handler).
+
+        ``context`` is an optional caller-supplied block for the dump
+        header — e.g. the execution-backend summary at crash time.
+        """
+        return self.recorder.dump(reason, self.alerts, context=context)
 
 
 def scan_events(

@@ -23,6 +23,17 @@ from .alerts import Alert
 __all__ = ["FlightRecorder"]
 
 
+def _safe_resource_snapshot() -> dict | None:
+    """Resource state for the dump header; never lets a probe failure
+    prevent the post-mortem itself from being written."""
+    try:
+        from ..perf.resources import resource_snapshot
+
+        return resource_snapshot()
+    except Exception:
+        return None
+
+
 def _encode_line(obj: dict) -> str:
     """Canonical encoding, falling back to a repr-everything encoder."""
     try:
@@ -51,12 +62,21 @@ class FlightRecorder:
     def record(self, event: dict) -> None:
         self.ring.append(event)
 
-    def dump(self, reason: str, alerts: list[Alert] | None = None) -> str | None:
+    def dump(
+        self,
+        reason: str,
+        alerts: list[Alert] | None = None,
+        context: dict | None = None,
+    ) -> str | None:
         """Write the post-mortem file; returns its path (None if disabled).
 
         Only the first dump per recorder is written — the interesting
         state is the ring at the *first* failure, and later alerts in
-        the same run would otherwise clobber it.
+        the same run would otherwise clobber it. The header carries a
+        best-effort resource snapshot (RSS, GC counters) taken at dump
+        time plus any caller-supplied ``context`` block (e.g. the
+        execution-backend summary) — the first things a postmortem
+        reader wants for an OOM or a stall.
         """
         if self.out_dir is None or self.dumped_path is not None:
             return self.dumped_path
@@ -68,7 +88,10 @@ class FlightRecorder:
             "reason": reason,
             "ring_events": len(self.ring),
             "alerts": [a.to_dict() for a in (alerts or [])],
+            "resources": _safe_resource_snapshot(),
         }
+        if context:
+            header["context"] = context
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(_encode_line(header) + "\n")
             for event in self.ring:

@@ -56,6 +56,18 @@ Anomalies:
                             *other* workers; scanned every
                             ``drift_check_stride`` rounds
   ``non-finite-metric``     a metric event carries NaN/Inf
+  ``round-time-degraded``   sliding-window median ``trainer.round`` span
+                            wall time above ``round_time_factor x`` the
+                            warmup-prefix baseline (rounds/sec SLO;
+                            edge-triggered, re-arms on recovery)
+
+Resource probes (``resource.sample`` — the :mod:`repro.perf` side
+stream, routed through the monitor directly, never through the hub):
+  ``rss-growth``            RSS above ``rss_growth_factor x`` the warmup
+                            baseline *and* grown by an absolute floor —
+                            the leak watchdog for long-lived services
+  ``gc-pause``              a sampling window's longest measured GC
+                            pause above the ``gc_pause_slo_s`` SLO
 
 Invariants (``population.cohort``):
   ``cohort-coverage``       live ≤ sampled ≤ population, all counts
@@ -120,6 +132,17 @@ class RuleEngine:
         self._prev_comm: dict[str, float] | None = None
         # last seen population coverage, for monotonicity
         self._prev_coverage: float | None = None
+        # resource-probe state: RSS baseline over the warmup samples,
+        # plus edge-trigger latches for the leak and gc-pause watchdogs
+        self._rss_samples = 0
+        self._rss_baseline: float | None = None
+        self._rss_fired = False
+        self._gc_pause_above = False
+        # trainer.round wall-time state: warmup prefix -> baseline
+        # median, then a bounded sliding window for the degraded median
+        self._round_times: list[float] = []
+        self._round_time_baseline: float | None = None
+        self._round_time_fired = False
         # block hash -> index of every ledger commit seen, for linkage
         self._blocks: dict[str, int] = {GENESIS_HASH: -1}
         self._dispatch = {
@@ -129,6 +152,8 @@ class RuleEngine:
             "ledger.audit": self._on_ledger_audit,
             "population.cohort": self._on_population_cohort,
             "parallel.round": self._on_parallel_round,
+            "resource.sample": self._on_resource_sample,
+            "span": self._on_span,
             "metric": self._on_metric,
         }
 
@@ -548,6 +573,125 @@ class RuleEngine:
                   "max_shard_s": max_s,
                   "median_shard_s": median_s,
                   "factor": cfg.shard_straggler_factor},
+        )]
+
+    # -- resource.sample (repro.perf side stream) --------------------------------
+
+    def _on_resource_sample(self, event: dict) -> list[Alert]:
+        """RSS leak watchdog + GC-pause SLO over probe samples.
+
+        Samples arrive via :meth:`Monitor.observe_resource`, never via
+        the hub, so these rules exist without perturbing seeded traces.
+        The RSS baseline is the minimum over the first
+        ``rss_warmup_samples`` samples (allocator warmup inflates early
+        readings); both rules are edge-triggered latches that re-arm on
+        recovery, matching the margin/gini level alerts.
+        """
+        data = event.get("data") or {}
+        cfg = self.config
+        rnd = data.get("round")
+        seq = event.get("seq")
+        alerts: list[Alert] = []
+
+        rss = data.get("rss_bytes")
+        if rss is not None and rss > 0:
+            rss = float(rss)
+            if self._rss_samples < cfg.rss_warmup_samples:
+                self._rss_samples += 1
+                base = self._rss_baseline
+                self._rss_baseline = rss if base is None else min(base, rss)
+            else:
+                base = self._rss_baseline
+                leaking = (
+                    rss > cfg.rss_growth_factor * base
+                    and rss - base > cfg.rss_growth_min_bytes
+                )
+                if leaking and not self._rss_fired:
+                    self._rss_fired = True
+                    alerts.append(Alert(
+                        rule="rss-growth", kind="anomaly",
+                        message=f"round {rnd}: RSS {rss / 2**20:.0f} MiB is "
+                                f"{rss / base:.1f}x the warmup baseline "
+                                f"({base / 2**20:.0f} MiB) — possible leak",
+                        seq=seq, round=rnd,
+                        data={"rss_bytes": rss, "baseline_bytes": base,
+                              "factor": cfg.rss_growth_factor,
+                              "min_growth_bytes": cfg.rss_growth_min_bytes},
+                    ))
+                elif not leaking:
+                    self._rss_fired = False
+
+        pause = data.get("gc_pause_max_s")
+        if pause is not None:
+            pause = float(pause)
+            if pause > cfg.gc_pause_slo_s:
+                if not self._gc_pause_above:
+                    self._gc_pause_above = True
+                    alerts.append(Alert(
+                        rule="gc-pause", kind="anomaly",
+                        message=f"round {rnd}: longest GC pause "
+                                f"{pause * 1e3:.1f} ms exceeds the "
+                                f"{cfg.gc_pause_slo_s * 1e3:.0f} ms SLO",
+                        seq=seq, round=rnd,
+                        data={"gc_pause_max_s": pause,
+                              "slo_s": cfg.gc_pause_slo_s},
+                    ))
+            else:
+                self._gc_pause_above = False
+        return alerts if alerts else _NO_ALERTS
+
+    # -- span --------------------------------------------------------------------
+
+    def _on_span(self, event: dict) -> list[Alert]:
+        """Rounds/sec degradation over ``trainer.round`` span wall times.
+
+        Baseline = median of the first ``round_time_warmup`` round
+        durations; alert (latched) when the sliding-window median
+        exceeds ``round_time_factor x`` that baseline and the absolute
+        floor. Spans carry durations, not timestamps, so this is a pure
+        function of the stream — replays reproduce it exactly.
+        """
+        if event.get("name") != "trainer.round":
+            return _NO_ALERTS
+        dur = event.get("dur_s")
+        if dur is None:
+            return _NO_ALERTS
+        cfg = self.config
+        times = self._round_times
+        times.append(float(dur))
+        if self._round_time_baseline is None:
+            if len(times) < cfg.round_time_warmup:
+                return _NO_ALERTS
+            self._round_time_baseline = float(np.median(times))
+            del times[:]
+            return _NO_ALERTS
+        if len(times) > cfg.round_time_window:
+            del times[0]
+        if len(times) < cfg.round_time_window:
+            return _NO_ALERTS
+        win_med = float(np.median(times))
+        base = self._round_time_baseline
+        degraded = (
+            win_med > cfg.round_time_factor * base
+            and win_med > cfg.round_time_min_s
+        )
+        if not degraded:
+            self._round_time_fired = False
+            return _NO_ALERTS
+        if self._round_time_fired:
+            return _NO_ALERTS
+        self._round_time_fired = True
+        attrs = event.get("attrs") or {}
+        return [Alert(
+            rule="round-time-degraded", kind="anomaly",
+            message=f"median round wall time {win_med * 1e3:.1f} ms over the "
+                    f"last {cfg.round_time_window} rounds is "
+                    f"{win_med / base:.1f}x the warmup baseline "
+                    f"({base * 1e3:.1f} ms)",
+            seq=event.get("seq"), round=attrs.get("round"),
+            data={"window_median_s": win_med, "baseline_s": base,
+                  "factor": cfg.round_time_factor,
+                  "window": cfg.round_time_window},
         )]
 
     # -- metric ------------------------------------------------------------------

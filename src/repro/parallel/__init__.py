@@ -34,6 +34,7 @@ from .backend import (
     ShardCrash,
     ThreadBackend,
     auto_workers,
+    backend_summary,
     emit_parallel_telemetry,
     make_backend,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "ProcessBackend",
     "ShardCrash",
     "auto_workers",
+    "backend_summary",
     "emit_parallel_telemetry",
     "make_backend",
     "blas_limits",

@@ -47,6 +47,7 @@ __all__ = [
     "ProcessBackend",
     "ShardCrash",
     "auto_workers",
+    "backend_summary",
     "make_backend",
 ]
 
@@ -362,6 +363,33 @@ def emit_parallel_telemetry(profiler, phase: str, backend: ExecutionBackend) -> 
             "median_shard_s": median,
         },
     )
+
+
+def backend_summary(backend: ExecutionBackend | None) -> dict | None:
+    """Plain-JSON snapshot of a backend for crash context / postmortems.
+
+    Folds ``last_stats`` down to totals so the block stays one line in a
+    dump header no matter how many shards the last dispatch had.
+    """
+    if backend is None:
+        return None
+    stats = backend.last_stats
+    last = None
+    if stats:
+        run_s = [s["run_s"] for s in stats]
+        last = {
+            "tasks": len(stats),
+            "run_s_total": float(sum(run_s)),
+            "queue_wait_s_total": float(
+                sum(s["queue_wait_s"] for s in stats)
+            ),
+            "max_run_s": float(max(run_s)),
+        }
+    return {
+        "backend": backend.name,
+        "pool_size": backend.pool_size,
+        "last_dispatch": last,
+    }
 
 
 def make_backend(

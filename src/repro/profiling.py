@@ -16,7 +16,10 @@ The public names keep their exact contracts:
   snapshot shape ``{"timings": {phase: {"seconds", "calls"}},
   "counters": {...}}``.
 
-New code should import from :mod:`repro.telemetry` directly.
+New code should import from :mod:`repro.telemetry` directly. For
+*analysing* recorded timings — flame-style span breakdowns, Perfetto
+timeline export, trace-vs-trace regression attribution, resource
+probes — see :mod:`repro.perf` (``python -m repro.perf trace.jsonl``).
 """
 
 from __future__ import annotations

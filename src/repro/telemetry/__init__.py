@@ -39,7 +39,12 @@ from .sinks import (
     encode_event,
     read_trace,
 )
-from .summary import aggregate_spans, render_summary, trace_summary
+from .summary import (
+    aggregate_spans,
+    parallel_summary,
+    render_summary,
+    trace_summary,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -59,6 +64,7 @@ __all__ = [
     "trace_summary",
     "render_summary",
     "aggregate_spans",
+    "parallel_summary",
     "run_manifest",
     "write_manifest",
 ]

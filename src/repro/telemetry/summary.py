@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from .core import SCHEMA_VERSION, format_profile
 
-__all__ = ["trace_summary", "render_summary", "aggregate_spans"]
+__all__ = [
+    "trace_summary",
+    "render_summary",
+    "aggregate_spans",
+    "parallel_summary",
+]
 
 #: event type emitted once per round by the FIFL mechanism
 ROUND_EVENT = "fifl.round"
@@ -35,6 +40,55 @@ def aggregate_spans(events: list[dict]) -> dict:
 
 def _round_events(events: list[dict]) -> list[dict]:
     return [ev["data"] for ev in events if ev.get("type") == ROUND_EVENT]
+
+
+def parallel_summary(events: list[dict]) -> dict | None:
+    """Fold ``parallel.round`` dispatch events into one digest.
+
+    Totals the shard run and queue-wait seconds across every dispatch
+    and reports the worst *straggler factor* — max shard time over the
+    dispatch median — the single number that says whether the pool's
+    wall clock was set by one slow shard. None when the trace has no
+    parallel dispatches (serial runs stay silent).
+    """
+    dispatches = [
+        ev["data"] for ev in events if ev.get("type") == "parallel.round"
+    ]
+    if not dispatches:
+        return None
+    run_s = 0.0
+    wait_s = 0.0
+    shards = 0
+    worst = 0.0
+    by_phase: dict[str, dict] = {}
+    for d in dispatches:
+        d_run = float(sum(d.get("shard_s", ())))
+        d_wait = float(sum(d.get("queue_wait_s", ())))
+        run_s += d_run
+        wait_s += d_wait
+        shards += int(d.get("shards", len(d.get("shard_s", ()))))
+        med = float(d.get("median_shard_s", 0.0))
+        if med > 0.0:
+            worst = max(worst, float(d.get("max_shard_s", 0.0)) / med)
+        slot = by_phase.setdefault(
+            str(d.get("phase")),
+            {"dispatches": 0, "shards": 0, "run_s": 0.0, "queue_wait_s": 0.0},
+        )
+        slot["dispatches"] += 1
+        slot["shards"] += int(d.get("shards", 0))
+        slot["run_s"] += d_run
+        slot["queue_wait_s"] += d_wait
+    last = dispatches[-1]
+    return {
+        "dispatches": len(dispatches),
+        "shards": shards,
+        "backend": last.get("backend"),
+        "pool_size": last.get("pool_size"),
+        "run_s_total": run_s,
+        "queue_wait_s_total": wait_s,
+        "straggler_factor_max": worst,
+        "by_phase": by_phase,
+    }
 
 
 def trace_summary(events: list[dict]) -> dict:
@@ -62,6 +116,7 @@ def trace_summary(events: list[dict]) -> dict:
         ),
         "manifests": [m.get("name") for m in manifests],
         "spans": aggregate_spans(events),
+        "parallel": parallel_summary(events),
     }
 
 
@@ -110,6 +165,35 @@ def render_summary(
     if timings:
         rows.append("phase time breakdown:")
         rows.extend(format_profile({"timings": timings}))
+
+    par = summary["parallel"]
+    if par:
+        rows.append(
+            f"parallel execution: {par['dispatches']} dispatches, "
+            f"{par['shards']} shards on {par['backend']} "
+            f"(pool={par['pool_size']}), run={par['run_s_total']:.4f}s "
+            f"queue-wait={par['queue_wait_s_total']:.4f}s, "
+            f"worst straggler {par['straggler_factor_max']:.1f}x median"
+        )
+        for phase in sorted(par["by_phase"]):
+            p = par["by_phase"][phase]
+            rows.append(
+                f"  {phase:<24} {p['dispatches']:>4} dispatches "
+                f"{p['shards']:>5} shards  run={p['run_s']:.4f}s  "
+                f"wait={p['queue_wait_s']:.4f}s"
+            )
+
+    res = [ev["data"] for ev in events if ev.get("type") == "resource.sample"]
+    if res:
+        rss = [r.get("rss_bytes", 0) for r in res]
+        last = res[-1]
+        rows.append(
+            f"resource samples: {len(res)}, rss last="
+            f"{rss[-1] / 2**20:.1f} MiB peak={max(rss) / 2**20:.1f} MiB "
+            f"growth={(rss[-1] - rss[0]) / 2**20:+.1f} MiB, "
+            f"gc collections={last.get('gc_collections', 0)} "
+            f"pauses={last.get('gc_pause_s_total', 0.0):.4f}s"
+        )
 
     gauges: dict[str, float] = {}
     for ev in events:

@@ -1,0 +1,179 @@
+"""Span-tree reconstruction, flame aggregation and trace diffs."""
+
+import pytest
+
+from repro.perf.aggregate import (
+    aggregate_tree,
+    build_span_tree,
+    diff_traces,
+    flat_spans,
+    format_diff,
+    format_tree_table,
+    perf_summary,
+    round_durations,
+)
+
+
+def span(name, depth, dur_s, seq, kind="phase", **attrs):
+    """One close-time span event in the v1 hub shape."""
+    return {"type": "span", "name": name, "kind": kind, "depth": depth,
+            "dur_s": dur_s, "v": 1, "seq": seq, "attrs": attrs}
+
+
+def run_trace():
+    """trainer.run -> 2 rounds -> (mechanism, evaluate) each, close order."""
+    return [
+        span("trainer.mechanism", 3, 0.03, 1),
+        span("trainer.evaluate", 3, 0.01, 2),
+        span("trainer.round", 2, 0.05, 3, kind="round", round=0),
+        span("trainer.mechanism", 3, 0.04, 4),
+        span("trainer.evaluate", 3, 0.02, 5),
+        span("trainer.round", 2, 0.07, 6, kind="round", round=1),
+        span("trainer.run", 1, 0.13, 7, kind="run"),
+    ]
+
+
+class TestBuildSpanTree:
+    def test_reconstructs_nesting_from_close_order(self):
+        roots = build_span_tree(run_trace())
+        assert [r.name for r in roots] == ["trainer.run"]
+        rounds = roots[0].children
+        assert [r.name for r in rounds] == ["trainer.round", "trainer.round"]
+        assert [c.name for c in rounds[0].children] == [
+            "trainer.mechanism", "trainer.evaluate",
+        ]
+        assert rounds[1].attrs["round"] == 1
+
+    def test_self_time_subtracts_direct_children(self):
+        roots = build_span_tree(run_trace())
+        round0 = roots[0].children[0]
+        assert round0.self_s == pytest.approx(0.05 - 0.03 - 0.01)
+        # run's self time: 0.13 - (0.05 + 0.07)
+        assert roots[0].self_s == pytest.approx(0.01)
+
+    def test_truncated_trace_surfaces_orphans_as_roots(self):
+        # the enclosing trainer.run never closed (crashed run)
+        events = run_trace()[:-1]
+        roots = build_span_tree(events)
+        assert [r.name for r in roots] == ["trainer.round", "trainer.round"]
+        assert all(len(r.children) == 2 for r in roots)
+
+    def test_non_span_events_ignored(self):
+        events = [{"type": "metric", "name": "x", "value": 1.0}] + run_trace()
+        assert len(build_span_tree(events)) == 1
+
+    def test_empty_stream(self):
+        assert build_span_tree([]) == []
+
+
+class TestAggregate:
+    def test_per_path_totals(self):
+        table = aggregate_tree(build_span_tree(run_trace()))
+        rounds = table[("trainer.run", "trainer.round")]
+        assert rounds["calls"] == 2
+        assert rounds["total_s"] == pytest.approx(0.12)
+        mech = table[("trainer.run", "trainer.round", "trainer.mechanism")]
+        assert mech["total_s"] == pytest.approx(0.07)
+        # leaves: self == total
+        assert mech["self_s"] == pytest.approx(mech["total_s"])
+
+    def test_flat_spans_merge_occurrences_across_parents(self):
+        flat = flat_spans(run_trace())
+        assert flat["trainer.mechanism"]["calls"] == 2
+        assert flat["trainer.round"]["total_s"] == pytest.approx(0.12)
+
+    def test_format_tree_table_indents_children(self):
+        rows = format_tree_table(aggregate_tree(build_span_tree(run_trace())))
+        joined = "\n".join(rows)
+        assert "trainer.run" in joined
+        assert "  trainer.round" in joined
+        assert "    trainer.mechanism" in joined
+
+    def test_min_share_hides_small_paths(self):
+        rows = format_tree_table(
+            aggregate_tree(build_span_tree(run_trace())), min_share=0.5
+        )
+        joined = "\n".join(rows)
+        assert "trainer.run" in joined
+        assert "trainer.evaluate" not in joined
+
+
+class TestDiff:
+    def test_identical_traces_diff_to_zero(self):
+        diff = diff_traces(run_trace(), run_trace())
+        assert diff["total_delta_s"] == 0.0
+        assert all(p["delta_s"] == 0.0 for p in diff["phases"])
+
+    def test_positive_delta_means_candidate_slower(self):
+        slow = [
+            dict(ev, dur_s=ev["dur_s"] * 2) if ev["name"] == "trainer.mechanism"
+            else ev
+            for ev in run_trace()
+        ]
+        diff = diff_traces(run_trace(), slow)
+        mech = next(p for p in diff["phases"] if p["name"] == "trainer.mechanism")
+        assert mech["delta_s"] == pytest.approx(0.07)
+        assert mech["delta_pct"] == pytest.approx(100.0)
+        # swap old/new: same magnitude, opposite sign (an improvement)
+        back = diff_traces(slow, run_trace())
+        mech_b = next(p for p in back["phases"] if p["name"] == "trainer.mechanism")
+        assert mech_b["delta_s"] == pytest.approx(-0.07)
+
+    def test_total_delta_sums_self_deltas(self):
+        slow = [
+            dict(ev, dur_s=ev["dur_s"] + 0.01) for ev in run_trace()
+        ]
+        diff = diff_traces(run_trace(), slow)
+        assert diff["total_delta_s"] == pytest.approx(
+            sum(p["delta_self_s"] for p in diff["phases"])
+        )
+        # self deltas partition the wall-clock movement exactly: the
+        # root trainer.run total grew 0.13 -> 0.14, so the summed
+        # self-time deltas must equal that +0.01 (totals would
+        # double-count the nested growth)
+        assert diff["total_delta_s"] == pytest.approx(0.01)
+
+    def test_phase_only_in_one_trace(self):
+        extra = run_trace() + [span("trainer.extra", 1, 0.5, 99)]
+        diff = diff_traces(run_trace(), extra)
+        new_phase = next(p for p in diff["phases"] if p["name"] == "trainer.extra")
+        assert new_phase["a_calls"] == 0
+        assert new_phase["delta_s"] == pytest.approx(0.5)
+        assert new_phase["delta_pct"] is None
+        # biggest mover ranks first
+        assert diff["phases"][0]["name"] == "trainer.extra"
+
+    def test_format_diff_reports_sign_convention(self):
+        rows = format_diff(diff_traces(run_trace(), run_trace()))
+        assert "positive delta = candidate slower" in rows[0]
+
+    def test_format_diff_threshold_and_top(self):
+        slow = [dict(ev, dur_s=ev["dur_s"] * 3) for ev in run_trace()]
+        rows = format_diff(diff_traces(run_trace(), slow), top=1)
+        assert any("more phases" in r for r in rows)
+        rows2 = format_diff(
+            diff_traces(run_trace(), run_trace()), threshold_s=0.001
+        )
+        assert any("no phase deltas above threshold" in r for r in rows2)
+
+
+class TestPerfSummary:
+    def test_round_percentiles_and_top_phase(self):
+        summary = perf_summary(run_trace())
+        assert summary["rounds"] == 2
+        assert summary["round_wall_s"]["max"] == pytest.approx(0.07)
+        assert summary["round_wall_s"]["mean"] == pytest.approx(0.06)
+        top = summary["top_phase"]
+        # trainer.run/trainer.round excluded; mechanism has most self time
+        assert top["name"] == "trainer.mechanism"
+        assert top["calls"] == 2
+        assert 0.0 < top["share"] <= 1.0
+
+    def test_empty_trace(self):
+        summary = perf_summary([])
+        assert summary["rounds"] == 0
+        assert summary["top_phase"] is None
+        assert summary["round_wall_s"]["p50"] == 0.0
+
+    def test_round_durations_in_order(self):
+        assert round_durations(run_trace()) == [0.05, 0.07]

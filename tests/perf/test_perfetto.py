@@ -1,0 +1,192 @@
+"""Perfetto (Chrome trace-event) export: lanes, nesting, validation."""
+
+import json
+
+import pytest
+
+from repro.perf.perfetto import events_to_perfetto, validate_trace, write_perfetto
+
+from .test_aggregate import run_trace, span
+
+
+def parallel_event(seq=50, pool=2, shard_s=(0.01, 0.02, 0.03, 0.04),
+                   queue=(0.0, 0.0, 0.001, 0.002), phase="fleet.local"):
+    shard_s = list(shard_s)
+    ordered = sorted(shard_s)
+    mid = len(ordered) // 2
+    median = (ordered[mid] if len(ordered) % 2
+              else 0.5 * (ordered[mid - 1] + ordered[mid]))
+    return {
+        "type": "parallel.round", "seq": seq, "v": 1,
+        "data": {
+            "phase": phase, "backend": "thread", "pool_size": pool,
+            "shards": len(shard_s), "shard_s": shard_s,
+            "queue_wait_s": list(queue),
+            "max_shard_s": max(shard_s), "median_shard_s": median,
+        },
+    }
+
+
+def resource_event(seq=60, rss=64 << 20, rnd=0):
+    return {
+        "type": "resource.sample", "seq": seq, "v": 1,
+        "data": {"round": rnd, "rss_bytes": rss, "gc_collections": 2,
+                 "gc_pause_s_total": 0.004, "gc_pause_max_s": 0.003,
+                 "blas_threads": 1},
+    }
+
+
+def complete_events(trace, pid=None):
+    evs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    return evs if pid is None else [e for e in evs if e["pid"] == pid]
+
+
+def meta_names(trace, meta):
+    return [e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == meta]
+
+
+class TestSpanLane:
+    def test_export_is_structurally_valid(self):
+        trace = events_to_perfetto(run_trace())
+        validate_trace(trace)  # raises on violation
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_round_spans_nest_inside_run_span(self):
+        trace = events_to_perfetto(run_trace())
+        xs = complete_events(trace, pid=1)
+        run = next(e for e in xs if e["name"] == "trainer.run")
+        rounds = [e for e in xs if e["name"] == "trainer.round"]
+        assert len(rounds) == 2
+        for r in rounds:
+            assert r["ts"] >= run["ts"]
+            assert r["ts"] + r["dur"] <= run["ts"] + run["dur"] + 1e-6
+        # rounds laid out end to end in close order
+        assert rounds[0]["ts"] + rounds[0]["dur"] == pytest.approx(
+            rounds[1]["ts"]
+        )
+
+    def test_durations_are_microseconds(self):
+        trace = events_to_perfetto(run_trace())
+        run = next(e for e in complete_events(trace) if e["name"] == "trainer.run")
+        assert run["dur"] == pytest.approx(0.13 * 1e6)
+
+    def test_span_attrs_carried_into_args(self):
+        trace = events_to_perfetto(run_trace())
+        rounds = [e for e in complete_events(trace) if e["name"] == "trainer.round"]
+        assert [r["args"]["round"] for r in rounds] == [0, 1]
+
+    def test_trainer_process_named(self):
+        trace = events_to_perfetto(run_trace())
+        assert "trainer" in meta_names(trace, "process_name")
+
+
+class TestParallelLanes:
+    def test_one_lane_per_slot(self):
+        trace = events_to_perfetto(run_trace() + [parallel_event(pool=2)])
+        assert "parallel backend" in meta_names(trace, "process_name")
+        assert {"slot 0", "slot 1"} <= set(meta_names(trace, "thread_name"))
+        shards = [e for e in complete_events(trace, pid=2)
+                  if e["cat"] == "shard"]
+        # task i -> lane i % pool_size
+        assert [e["tid"] for e in sorted(shards, key=lambda e: e["args"]["task"])] \
+            == [0, 1, 0, 1]
+
+    def test_queue_wait_segments_precede_runs(self):
+        trace = events_to_perfetto([parallel_event(
+            pool=1, shard_s=(0.01, 0.02), queue=(0.0, 0.05)
+        )])
+        lane = sorted(complete_events(trace, pid=2), key=lambda e: e["ts"])
+        waits = [e for e in lane if e["cat"] == "queue"]
+        assert len(waits) == 1
+        run2 = next(e for e in lane
+                    if e["cat"] == "shard" and e["args"]["task"] == 1)
+        assert waits[0]["ts"] + waits[0]["dur"] == pytest.approx(run2["ts"])
+
+    def test_lane_segments_never_overlap(self):
+        trace = events_to_perfetto([parallel_event(
+            pool=2, shard_s=(0.03, 0.01, 0.02, 0.04),
+            queue=(0.0, 0.0, 0.001, 0.002),
+        )])
+        by_lane = {}
+        for e in complete_events(trace, pid=2):
+            by_lane.setdefault(e["tid"], []).append(e)
+        for segs in by_lane.values():
+            segs.sort(key=lambda e: e["ts"])
+            for a, b in zip(segs, segs[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+    def test_serial_trace_has_no_parallel_process(self):
+        trace = events_to_perfetto(run_trace())
+        assert "parallel backend" not in meta_names(trace, "process_name")
+
+
+class TestResourceCounters:
+    def test_counter_tracks_emitted(self):
+        trace = events_to_perfetto(run_trace() + [resource_event()])
+        assert "resources" in meta_names(trace, "process_name")
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert {"rss_mb", "gc_collections", "gc_pause_ms_total"} <= names
+        rss = next(e for e in counters if e["name"] == "rss_mb")
+        assert rss["args"]["value"] == pytest.approx(64.0)
+
+    def test_samples_pinned_to_round_ends(self):
+        trace = events_to_perfetto(
+            run_trace() + [resource_event(seq=60, rnd=0),
+                           resource_event(seq=61, rnd=1)]
+        )
+        rounds = [e for e in complete_events(trace, pid=1)
+                  if e["name"] == "trainer.round"]
+        rss = sorted((e for e in trace["traceEvents"]
+                      if e["ph"] == "C" and e["name"] == "rss_mb"),
+                     key=lambda e: e["ts"])
+        assert rss[0]["ts"] == pytest.approx(rounds[0]["ts"] + rounds[0]["dur"])
+        assert rss[1]["ts"] == pytest.approx(rounds[1]["ts"] + rounds[1]["dur"])
+
+
+class TestValidateTrace:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_trace([])
+
+    def test_rejects_event_without_ph(self):
+        with pytest.raises(ValueError, match="ph"):
+            validate_trace({"traceEvents": [{"name": "x"}]})
+
+    def test_rejects_negative_duration(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0, "dur": -1},
+        ]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_trace(bad)
+
+    def test_rejects_nan_counter(self):
+        bad = {"traceEvents": [
+            {"ph": "C", "pid": 1, "tid": 0, "name": "c", "ts": 0,
+             "args": {"value": float("nan")}},
+        ]}
+        with pytest.raises(ValueError, match="counter"):
+            validate_trace(bad)
+
+    def test_rejects_unsupported_phase(self):
+        bad = {"traceEvents": [
+            {"ph": "B", "pid": 1, "tid": 1, "name": "x", "ts": 0},
+        ]}
+        with pytest.raises(ValueError, match="unsupported"):
+            validate_trace(bad)
+
+
+class TestWritePerfetto:
+    def test_written_file_is_loadable_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        path = write_perfetto(out, run_trace() + [parallel_event(),
+                                                  resource_event()])
+        assert path == out
+        trace = json.loads(out.read_text())
+        validate_trace(trace)
+        assert trace["otherData"]["source"] == "repro.perf"
+
+    def test_empty_trace_still_valid(self, tmp_path):
+        out = write_perfetto(tmp_path / "empty.json", [])
+        validate_trace(json.loads(out.read_text()))

@@ -1,0 +1,171 @@
+"""ResourceProbe: sampling, GC-pause measurement, side-stream isolation."""
+
+import gc
+import json
+
+import pytest
+
+from repro.perf.resources import ResourceProbe, resource_snapshot, rss_bytes
+
+
+class TestRssBytes:
+    def test_positive_on_linux(self):
+        assert rss_bytes() > 0
+
+    def test_snapshot_shape(self):
+        snap = resource_snapshot()
+        assert snap["rss_bytes"] > 0
+        assert len(snap["gc_counts"]) == 3
+        assert snap["gc_collections"] >= 0
+        assert snap["gc_uncollectable"] >= 0
+
+
+class TestResourceProbe:
+    def test_sample_fields(self):
+        with ResourceProbe() as probe:
+            sample = probe.sample(7)
+        assert sample["round"] == 7
+        assert sample["rss_bytes"] > 0
+        assert sample["blas_threads"] >= 1
+        for key in ("gc_counts", "gc_collections", "gc_pause_s_total",
+                    "gc_pause_max_s"):
+            assert key in sample
+
+    def test_sample_every_skips(self):
+        with ResourceProbe(sample_every=2) as probe:
+            taken = [probe.sample(i) for i in range(5)]
+        assert [s is not None for s in taken] == [
+            True, False, True, False, True,
+        ]
+        assert len(probe.samples) == 3
+
+    def test_gc_pauses_measured_not_estimated(self):
+        with ResourceProbe() as probe:
+            gc.collect()
+            sample = probe.sample(0)
+        assert sample["gc_collections"] >= 1
+        assert sample["gc_pause_s_total"] > 0.0
+        assert sample["gc_pause_max_s"] > 0.0
+
+    def test_pause_window_max_resets_per_sample(self):
+        with ResourceProbe() as probe:
+            gc.collect()
+            first = probe.sample(0)
+            second = probe.sample(1)
+        assert first["gc_pause_max_s"] > 0.0
+        # no collection between samples: the window max reset to zero,
+        # while the cumulative total is monotone
+        assert second["gc_pause_max_s"] == 0.0
+        assert second["gc_pause_s_total"] >= first["gc_pause_s_total"]
+
+    def test_close_detaches_gc_callback(self):
+        probe = ResourceProbe()
+        assert probe._gc_callback in gc.callbacks
+        probe.close()
+        assert probe._gc_callback not in gc.callbacks
+        probe.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            probe.sample(0)
+
+    def test_on_sample_callback(self):
+        seen = []
+        with ResourceProbe(on_sample=seen.append) as probe:
+            probe.sample(0)
+            probe.sample(1)
+        assert [s["round"] for s in seen] == [0, 1]
+
+    def test_jsonl_side_stream(self, tmp_path):
+        path = tmp_path / "res.jsonl"
+        with ResourceProbe(jsonl_path=path) as probe:
+            probe.sample(0)
+            probe.sample(1)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["type"] for l in lines] == ["resource.sample"] * 2
+        assert [l["data"]["round"] for l in lines] == [0, 1]
+
+    def test_events_wrap_samples(self):
+        with ResourceProbe() as probe:
+            probe.sample(3)
+        events = probe.events()
+        assert events[0]["type"] == "resource.sample"
+        assert events[0]["data"]["round"] == 3
+
+    def test_summary_envelope(self):
+        with ResourceProbe() as probe:
+            probe.sample(0)
+            probe.sample(1)
+            summary = probe.summary()
+        assert summary["samples"] == 2
+        assert summary["rss_peak_bytes"] >= summary["rss_start_bytes"] > 0
+        assert summary["rss_growth_bytes"] == (
+            summary["rss_last_bytes"] - summary["rss_start_bytes"]
+        )
+
+    def test_empty_summary(self):
+        with ResourceProbe() as probe:
+            summary = probe.summary()
+        assert summary["samples"] == 0
+        assert summary["rss_peak_bytes"] is None
+
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ValueError):
+            ResourceProbe(sample_every=0)
+
+    def test_tracemalloc_peak_only_when_tracing(self):
+        import tracemalloc
+
+        with ResourceProbe(tracemalloc_peak=True) as probe:
+            assert "tracemalloc_peak_bytes" not in probe.sample(0)
+            tracemalloc.start()
+            try:
+                sample = probe.sample(1)
+            finally:
+                tracemalloc.stop()
+        assert sample["tracemalloc_peak_bytes"] >= 0
+
+
+class TestProbeTraceIsolation:
+    """A probed seeded run's hub trace stays byte-identical (tentpole bar)."""
+
+    def _seeded_events(self, probe=None):
+        from repro.core import make_mechanism
+        from repro.fl import FederatedTrainer
+        from repro.population import WorkerPopulation
+        from repro.telemetry import (
+            MemorySink,
+            Telemetry,
+            TickClock,
+            set_telemetry,
+        )
+
+        from ..helpers import make_federation, model_fn
+
+        hub = Telemetry(sinks=[MemorySink()], clock=TickClock())
+        set_telemetry(hub)
+        try:
+            workers, _, test = make_federation(num_workers=4)
+            trainer = FederatedTrainer(
+                model_fn()(),
+                population=WorkerPopulation.from_workers(workers),
+                server_ranks=[0, 1],
+                test_data=test,
+                mechanism=make_mechanism("fifl", threshold=0.0, gamma=0.2),
+                seed=0,
+                probe=probe,
+            )
+            trainer.run(3)
+            hub.flush()
+            return hub.events()
+        finally:
+            set_telemetry(Telemetry())
+
+    def test_probe_keeps_seeded_trace_byte_identical(self):
+        from repro.telemetry import encode_event
+
+        bare = self._seeded_events()
+        with ResourceProbe() as probe:
+            probed = self._seeded_events(probe=probe)
+        assert len(probe.samples) == 3  # one per round boundary
+        assert [encode_event(e) for e in bare] == [
+            encode_event(e) for e in probed
+        ]

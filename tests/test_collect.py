@@ -39,6 +39,15 @@ def sim_manifest(overhead=0.1, identical=True):
     return {"overhead_pct": overhead, "bitwise_identical": identical}
 
 
+def perf_manifest(p50=0.0014, top_phase="trainer.upload", valid=True,
+                  identical=True, diff_zero=True):
+    return {
+        "p50_round_wall_s": p50, "top_phase": top_phase,
+        "perfetto_valid": valid, "probe_trace_identical": identical,
+        "diff_zero": diff_zero,
+    }
+
+
 @pytest.fixture
 def bench_dir(tmp_path):
     d = tmp_path / "benchmarks"
@@ -192,6 +201,57 @@ class TestCheck:
         del traj["benches"]["engine"][0]["metrics"]["monitor_overhead_pct"]
         trajectory.write_text(json.dumps(traj))
         assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+
+class TestPerfHeadlines:
+    def write_perf(self, bench_dir, **kw):
+        (bench_dir / "BENCH_perf.json").write_text(
+            json.dumps(perf_manifest(**kw))
+        )
+
+    def test_extractor_shapes_the_row(self):
+        row = collect.extract_perf(perf_manifest())
+        assert row["p50_round_wall_s"]["better"] == "lower"
+        assert row["p50_round_wall_s"]["unit"] == "seconds"
+        assert row["top_phase"]["better"] == "none"
+        assert row["diff_zero"]["better"] == "exact"
+
+    def test_round_time_jitter_inside_abs_slack_passes(self, bench_dir,
+                                                       trajectory):
+        # 1.4 ms -> 4 ms is ~186% relative, but under the 5 ms absolute
+        # slack for sub-millisecond wall-time metrics on shared machines
+        self.write_perf(bench_dir)
+        collect.record("PR8", path=trajectory, bench_dir=bench_dir)
+        self.write_perf(bench_dir, p50=0.004)
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_gross_round_time_regression_flagged(self, bench_dir, trajectory):
+        self.write_perf(bench_dir)
+        collect.record("PR8", path=trajectory, bench_dir=bench_dir)
+        self.write_perf(bench_dir, p50=0.05)  # 1.4 ms -> 50 ms
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("perf.p50_round_wall_s" in p and "rose above" in p
+                   for p in problems)
+
+    def test_top_phase_shift_is_informational_not_gated(self, bench_dir,
+                                                        trajectory):
+        self.write_perf(bench_dir, top_phase="trainer.upload")
+        collect.record("PR8", path=trajectory, bench_dir=bench_dir)
+        self.write_perf(bench_dir, top_phase="trainer.mechanism")
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+        # but the shift is recorded in the trajectory for attribution
+        collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        rows = json.loads(trajectory.read_text())["benches"]["perf"]
+        assert [r["metrics"]["top_phase"]["value"] for r in rows] == [
+            "trainer.upload", "trainer.mechanism",
+        ]
+
+    def test_contract_flip_is_exact_failure(self, bench_dir, trajectory):
+        self.write_perf(bench_dir)
+        collect.record("PR8", path=trajectory, bench_dir=bench_dir)
+        self.write_perf(bench_dir, identical=False)
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("probe_trace_identical" in p for p in problems)
 
 
 class TestShow:
