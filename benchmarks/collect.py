@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -178,12 +179,43 @@ def extract_perf(manifest: dict) -> dict:
     }
 
 
+def extract_service(manifest: dict) -> dict:
+    """Headlines of BENCH_service.json (resumable federation service).
+
+    The booleans are the byte-identity contract (kill/resume differential
+    and snapshot round-trip); the throughput and overhead numbers come
+    from the traffic-replay harness.
+    """
+    return {
+        "rounds_per_sec": {
+            "value": float(manifest["rounds_per_sec"]), "better": "higher",
+        },
+        "snapshot_overhead_pct": {
+            "value": float(manifest["snapshot_overhead_pct"]),
+            "better": "lower", "unit": "pct",
+        },
+        "resume_identical": {
+            "value": bool(manifest["resume_identical"]), "better": "exact",
+        },
+        "trace_identical": {
+            "value": bool(manifest["trace_identical"]), "better": "exact",
+        },
+        "roundtrip_ok": {
+            "value": bool(manifest["roundtrip_ok"]), "better": "exact",
+        },
+        "rss_growth_alerts": {
+            "value": int(manifest["rss_growth_alerts"]), "better": "exact",
+        },
+    }
+
+
 EXTRACTORS = {
     "engine": extract_engine,
     "local_step": extract_local_step,
     "parallel": extract_parallel,
     "perf": extract_perf,
     "population": extract_population,
+    "service": extract_service,
     "sim": extract_sim,
 }
 
@@ -244,7 +276,11 @@ def record(label: str, path: Path = TRAJECTORY,
             rows.append(row)
     for rows in benches.values():
         _mark_stale(rows)
-    path.write_text(json.dumps(traj, indent=2, sort_keys=True) + "\n")
+    # write-to-temp-then-rename: a crash mid-record (or two concurrent
+    # CI jobs) can never leave a truncated trajectory behind
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(traj, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return traj
 
 

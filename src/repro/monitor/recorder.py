@@ -96,5 +96,10 @@ class FlightRecorder:
             fh.write(_encode_line(header) + "\n")
             for event in self.ring:
                 fh.write(_encode_line(event) + "\n")
+            # A post-mortem exists precisely because the process is
+            # dying; push it to disk so a follow-up SIGKILL (or the OOM
+            # killer that triggered the dump) can't take it along.
+            fh.flush()
+            os.fsync(fh.fileno())
         self.dumped_path = path
         return path

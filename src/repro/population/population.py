@@ -45,6 +45,22 @@ _CHURN_ACTIONS = ("leave", "join")
 SEED_OFFSET = 1000
 
 
+class _MappingSpecFn:
+    """Spec lookup over a ``{worker_id: WorkerSpec}`` mapping.
+
+    A module-level class (not a lambda) so populations built from a
+    mapping survive pickling — snapshots and subprocess transfer both
+    need the whole population to round-trip through ``pickle``.
+    """
+
+    def __init__(self, overrides: Mapping[int, WorkerSpec]):
+        self.overrides = dict(overrides)
+        self.default = WorkerSpec()
+
+    def __call__(self, worker_id: int) -> WorkerSpec:
+        return self.overrides.get(worker_id, self.default)
+
+
 class WorkerPopulation:
     """Registry of ``size`` workers with O(touched) materialized state."""
 
@@ -87,9 +103,7 @@ class WorkerPopulation:
         elif callable(spec_fn):
             self._spec_fn = spec_fn
         else:
-            overrides = dict(spec_fn)
-            default = WorkerSpec()
-            self._spec_fn = lambda wid: overrides.get(wid, default)
+            self._spec_fn = _MappingSpecFn(spec_fn)
         self._worker_kwargs = dict(worker_kwargs or {})
         self.availability = float(availability)
         self.churn = tuple(churn)

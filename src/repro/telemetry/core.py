@@ -339,8 +339,16 @@ class Telemetry:
         Reading APIs (:meth:`events`, :meth:`metrics_snapshot`,
         :meth:`close`) flush implicitly; call this directly to bound
         deferred work at a known point, e.g. between benchmark windows.
+
+        Sinks exposing their own ``flush`` (e.g. :class:`JsonlSink`
+        with ``fsync_on_flush``) are drained too, so a flush boundary
+        is also a durability boundary for file-backed traces.
         """
         self._flush_pending()
+        for sink in self.sinks:
+            sink_flush = getattr(sink, "flush", None)
+            if sink_flush is not None:
+                sink_flush()
 
     def event(self, etype: str, data: dict) -> None:
         """Emit one arbitrary typed event (payload under ``data``)."""

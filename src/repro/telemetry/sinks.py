@@ -13,6 +13,7 @@ usable as regression fixtures, not just logs.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from collections import deque
 from pathlib import Path
@@ -91,10 +92,18 @@ class JsonlSink:
     The file is opened eagerly (truncating) so a crashed run still
     leaves a readable prefix. ``close()`` is idempotent; the sink also
     works as a context manager.
+
+    With ``fsync_on_flush=True`` every :meth:`flush` pushes buffered
+    lines through the OS to the disk (``fsync``), so the trace written
+    up to the last flush boundary survives a SIGKILL or power loss —
+    the crash scenarios the service snapshots are built for. Off by
+    default: durability costs a syscall per flush, and most traces only
+    need to survive a clean exit.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, fsync_on_flush: bool = False):
         self.path = Path(path)
+        self.fsync_on_flush = bool(fsync_on_flush)
         self._fh = open(self.path, "w", encoding="utf-8")
 
     def emit(self, event: dict) -> None:
@@ -103,8 +112,17 @@ class JsonlSink:
         self._fh.write(encode_event(event))
         self._fh.write("\n")
 
+    def flush(self) -> None:
+        """Drain userspace buffers (and hit the disk when configured)."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self.fsync_on_flush:
+            os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         if self._fh is not None:
+            self.flush()
             self._fh.close()
             self._fh = None
 

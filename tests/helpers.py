@@ -15,6 +15,36 @@ def model_fn(seed=0):
     return lambda: build_logreg(N_FEATURES, N_CLASSES, seed=seed)
 
 
+class LogregFactory:
+    """Picklable model factory (lambdas can't cross process boundaries).
+
+    Use instead of :func:`model_fn` wherever a worker/population must
+    survive ``pickle`` — snapshot round-trips, subprocess transfer.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    def __call__(self):
+        return build_logreg(N_FEATURES, N_CLASSES, seed=self.seed)
+
+
+class BlobDataFn:
+    """Picklable per-worker dataset recipe for lazy populations."""
+
+    def __init__(self, samples_per_worker=40, seed=0):
+        self.samples_per_worker = samples_per_worker
+        self.seed = seed
+
+    def __call__(self, worker_id):
+        return make_blobs(
+            n_samples=self.samples_per_worker,
+            n_features=N_FEATURES,
+            num_classes=N_CLASSES,
+            seed=(self.seed, 0xDA7A, worker_id),
+        )
+
+
 def make_federation(
     num_workers=4,
     n_samples=400,

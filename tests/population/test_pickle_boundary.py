@@ -1,0 +1,92 @@
+"""Worker RNG streams survive a real process boundary.
+
+The in-process determinism contract (materialize → evict →
+re-materialize draws identically) is covered by test_population. This
+file proves the stronger snapshot-shaped claim: a mid-stream
+:class:`WorkerPopulation` pickled in one interpreter and unpickled in a
+*fresh* one continues every worker's RNG stream draw-for-draw — cached
+workers, evicted workers, and the LRU/recipe bookkeeping all included.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.population import WorkerPopulation
+
+from ..helpers import BlobDataFn, LogregFactory
+
+REPO = Path(__file__).resolve().parents[2]
+
+_DRAW_SCRIPT = """\
+import pickle, sys
+with open(sys.argv[1], "rb") as fh:
+    pop = pickle.load(fh)
+for wid in sorted(pop._cache):
+    draws = pop._cache[wid].rng.random(4)
+    print(wid, ",".join(f"{d:.17g}" for d in draws))
+# an evicted worker re-materializes mid-stream in the new process too
+w9 = pop.materialize(9)
+print(9, ",".join(f"{d:.17g}" for d in w9.rng.random(4)))
+"""
+
+
+def _make_population() -> WorkerPopulation:
+    pop = WorkerPopulation(
+        32,
+        data_fn=BlobDataFn(samples_per_worker=16),
+        model_fn=LogregFactory(),
+        seed=3,
+        cache_size=4,
+    )
+    # touch more workers than the cache holds: 9 and 10 get evicted
+    # (checkout trims the LRU) with their RNG streams mid-draw, the rest
+    # stay cached mid-draw
+    for worker in pop.checkout((9, 10)):
+        worker.rng.random(3 + worker.worker_id)
+    for worker in pop.checkout((2, 5, 7, 11)):
+        worker.rng.random(3 + worker.worker_id)
+    assert 9 not in pop._cache and 9 in pop._rng_states
+    return pop
+
+
+class TestProcessBoundary:
+    def test_unpickled_population_draws_identically(self, tmp_path):
+        pop = _make_population()
+        blob_path = tmp_path / "pop.pkl"
+        blob_path.write_bytes(pickle.dumps(pop))
+
+        # expected: the parent's own copy simply keeps drawing
+        expected_lines = []
+        for wid in sorted(pop._cache):
+            draws = pop._cache[wid].rng.random(4)
+            expected_lines.append(
+                f"{wid} " + ",".join(f"{d:.17g}" for d in draws)
+            )
+        w9 = pop.materialize(9)
+        expected_lines.append(
+            "9 " + ",".join(f"{d:.17g}" for d in w9.rng.random(4))
+        )
+
+        env = dict(
+            os.environ, PYTHONPATH=str(REPO / "src") + os.pathsep + str(REPO)
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _DRAW_SCRIPT, str(blob_path)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert proc.stdout.splitlines() == expected_lines
+
+    def test_bookkeeping_round_trips(self, tmp_path):
+        pop = _make_population()
+        clone = pickle.loads(pickle.dumps(pop))
+        assert sorted(clone._cache) == sorted(pop._cache)
+        assert clone._rng_states.keys() == pop._rng_states.keys()
+        assert clone._seen == pop._seen
+        assert clone.cached_count == pop.cached_count

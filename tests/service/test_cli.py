@@ -1,0 +1,126 @@
+"""``python -m repro.service`` across real process boundaries.
+
+The in-process differentials (test_service_resume) prove the state
+inventory; these tests prove the *operational* story: a service process
+SIGKILLed mid-run leaves durable snapshots a fresh process resumes
+from, byte-identical, driven entirely through the CLI.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+ROUNDS = "12"
+
+
+def _run_cli(*args, check=True):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=300,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"cli {args} -> {proc.returncode}\n{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def _common(dir_, trace):
+    return (
+        "--preset", "blobs-fifl", "--dir", str(dir_), "--rounds", ROUNDS,
+        "--checkpoint-every", "4", "--trace", str(trace),
+        "--deterministic-clock",
+    )
+
+
+@pytest.fixture(scope="module")
+def kill_resume(tmp_path_factory):
+    """One killed-then-resumed run + one clean run, shared by the tests."""
+    root = tmp_path_factory.mktemp("cli")
+    clean = _run_cli(
+        "run", *_common(root / "clean", root / "clean.jsonl")
+    )
+    killed = _run_cli(
+        "run", *_common(root / "killed", root / "part1.jsonl"),
+        "--kill-after-round", "7", check=False,
+    )
+    status = _run_cli("status", "--dir", str(root / "killed"), check=False)
+    resumed = _run_cli(
+        "resume", "--dir", str(root / "killed"),
+        "--trace", str(root / "part2.jsonl"), "--deterministic-clock",
+    )
+    return {
+        "root": root,
+        "clean": json.loads(clean.stdout),
+        "killed_proc": killed,
+        "status_after_kill": status,
+        "resumed": json.loads(resumed.stdout),
+    }
+
+
+class TestKillResume:
+    def test_kill_is_a_real_sigkill(self, kill_resume):
+        assert kill_resume["killed_proc"].returncode == -signal.SIGKILL
+
+    def test_snapshots_survive_the_kill(self, kill_resume):
+        # taken between the SIGKILL and the resume
+        status = kill_resume["status_after_kill"]
+        # status exits 0 only when snapshots exist
+        assert status.returncode == 0
+        out = json.loads(status.stdout)
+        assert out["latest"] == "snapshot-00000008"
+        assert out["round"] == 8
+
+    def test_resumed_outputs_match_clean_run(self, kill_resume):
+        clean, resumed = kill_resume["clean"], kill_resume["resumed"]
+        assert resumed["next_round"] == clean["next_round"]
+        assert resumed["history_digest"] == clean["history_digest"]
+        assert resumed["reputation_digest"] == clean["reputation_digest"]
+        assert resumed["ledger_head"] == clean["ledger_head"]
+        assert resumed["ledger_intact"] is True
+        assert resumed["final_accuracy"] == clean["final_accuracy"]
+
+    def test_trace_bytes_identical_across_the_kill(self, kill_resume):
+        root = kill_resume["root"]
+        combined = (root / "part1.jsonl").read_bytes() + (
+            root / "part2.jsonl"
+        ).read_bytes()
+        assert combined == (root / "clean.jsonl").read_bytes()
+
+    def test_inspect_verifies_surviving_snapshot(self, kill_resume):
+        inspect = _run_cli(
+            "inspect", "--dir", str(kill_resume["root"] / "killed")
+        )
+        report = json.loads(inspect.stdout)
+        assert report["ok"] is True
+        assert set(report["components"]) >= {
+            "config.pkl", "model.npz", "state.pkl",
+        }
+
+
+class TestErrors:
+    def test_status_on_empty_dir_exits_nonzero(self, tmp_path):
+        proc = _run_cli("status", "--dir", str(tmp_path), check=False)
+        assert proc.returncode == 1
+
+    def test_resume_without_snapshots_is_a_snapshot_error(self, tmp_path):
+        proc = _run_cli("resume", "--dir", str(tmp_path), check=False)
+        assert proc.returncode == 2
+        assert "no snapshots" in proc.stderr
+
+    def test_unknown_preset_rejected(self, tmp_path):
+        proc = _run_cli(
+            "run", "--preset", "nope", "--dir", str(tmp_path), check=False
+        )
+        assert proc.returncode == 2  # argparse choices error

@@ -96,6 +96,57 @@ class TestJsonlSink:
             sink.emit({"seq": 0})
 
 
+class TestJsonlDurability:
+    def test_flush_drains_userspace_buffers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"seq": 0})
+        sink.flush()
+        # readable from a second handle without closing the sink — the
+        # property a kill/resume differential reads traces through
+        assert path.read_text().splitlines() == ['{"seq":0}']
+        sink.close()
+
+    def test_fsync_on_flush_syncs_file(self, tmp_path, monkeypatch):
+        import repro.telemetry.sinks as sinks_mod
+
+        synced = []
+        monkeypatch.setattr(sinks_mod.os, "fsync", synced.append)
+        sink = JsonlSink(tmp_path / "t.jsonl", fsync_on_flush=True)
+        sink.emit({"seq": 0})
+        sink.flush()
+        assert len(synced) == 1
+        sink.close()  # close flushes again
+        assert len(synced) == 2
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        import repro.telemetry.sinks as sinks_mod
+
+        synced = []
+        monkeypatch.setattr(sinks_mod.os, "fsync", synced.append)
+        with JsonlSink(tmp_path / "t.jsonl") as sink:
+            sink.emit({"seq": 0})
+            sink.flush()
+        assert synced == []
+
+    def test_flush_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl", fsync_on_flush=True)
+        sink.close()
+        sink.flush()  # must not raise on the closed handle
+
+    def test_hub_flush_fans_out_to_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tele = Telemetry(
+            sinks=[MemorySink(), JsonlSink(path, fsync_on_flush=True)],
+            clock=TickClock(),
+        )
+        tele.event("fifl.round", {"round": 0})
+        tele.flush()
+        # without the fan-out the bytes would still sit in userspace
+        assert len(path.read_text().splitlines()) == 1
+        tele.close()
+
+
 class TestConsoleSink:
     def test_prints_summary_on_close(self):
         stream = io.StringIO()

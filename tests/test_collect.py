@@ -254,6 +254,75 @@ class TestPerfHeadlines:
         assert any("probe_trace_identical" in p for p in problems)
 
 
+def service_manifest(rps=300.0, overhead=0.2, identical=True, alerts=0):
+    return {
+        "rounds_per_sec": rps, "snapshot_overhead_pct": overhead,
+        "resume_identical": identical, "trace_identical": identical,
+        "roundtrip_ok": True, "rss_growth_alerts": alerts,
+    }
+
+
+class TestServiceHeadlines:
+    def write_service(self, bench_dir, **kw):
+        (bench_dir / "BENCH_service.json").write_text(
+            json.dumps(service_manifest(**kw))
+        )
+
+    def test_extractor_shapes_the_row(self):
+        row = collect.extract_service(service_manifest())
+        assert row["rounds_per_sec"]["better"] == "higher"
+        assert row["snapshot_overhead_pct"]["unit"] == "pct"
+        assert row["resume_identical"]["better"] == "exact"
+        assert row["rss_growth_alerts"]["better"] == "exact"
+
+    def test_identity_flip_is_exact_failure(self, bench_dir, trajectory):
+        self.write_service(bench_dir)
+        collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        self.write_service(bench_dir, identical=False)
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("service.resume_identical" in p for p in problems)
+
+    def test_overhead_jitter_inside_abs_slack_passes(self, bench_dir,
+                                                     trajectory):
+        # sub-1% overhead wobbles are jitter, not regressions
+        self.write_service(bench_dir)
+        collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        self.write_service(bench_dir, overhead=1.5)
+        assert collect.check(path=trajectory, bench_dir=bench_dir) == []
+
+    def test_new_rss_alert_is_exact_failure(self, bench_dir, trajectory):
+        self.write_service(bench_dir)
+        collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        self.write_service(bench_dir, alerts=2)
+        problems = collect.check(path=trajectory, bench_dir=bench_dir)
+        assert any("rss_growth_alerts" in p for p in problems)
+
+
+class TestAtomicWrite:
+    def test_record_leaves_no_temp_file(self, bench_dir, trajectory):
+        collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        assert trajectory.exists()
+        leftovers = [
+            p for p in trajectory.parent.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_record_replaces_not_truncates(self, bench_dir, trajectory,
+                                           monkeypatch):
+        """A crash mid-record must leave the previous trajectory intact."""
+        collect.record("PR8", path=trajectory, bench_dir=bench_dir)
+        before = trajectory.read_text()
+
+        def boom(tmp, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(collect.os, "replace", boom)
+        with pytest.raises(OSError):
+            collect.record("PR9", path=trajectory, bench_dir=bench_dir)
+        # the published file still holds the pre-crash contents
+        assert trajectory.read_text() == before
+
+
 class TestShow:
     def test_renders_one_line_per_row(self, bench_dir, trajectory):
         collect.record("PR4", path=trajectory, bench_dir=bench_dir)
