@@ -209,7 +209,31 @@ def extract_service(manifest: dict) -> dict:
     }
 
 
+def extract_audit(manifest: dict) -> dict:
+    """Headlines of BENCH_audit.json (incentive audit layer).
+
+    The booleans are the audit layer's correctness contract (offline
+    lineage reconstruction byte-identical to live records, trace-level
+    verification clean); the overhead percentage is the cost of the
+    attribution payload on every ``fifl.round`` event.
+    """
+    diff = manifest["differential"]
+    return {
+        "audit_overhead_pct": {
+            "value": float(manifest["audit_overhead"]["overhead_pct"]),
+            "better": "lower", "unit": "pct",
+        },
+        "byte_identical": {
+            "value": bool(diff["byte_identical"]), "better": "exact",
+        },
+        "verify_ok": {
+            "value": bool(diff["verify_ok"]), "better": "exact",
+        },
+    }
+
+
 EXTRACTORS = {
+    "audit": extract_audit,
     "engine": extract_engine,
     "local_step": extract_local_step,
     "parallel": extract_parallel,

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.audit``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

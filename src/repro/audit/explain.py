@@ -1,0 +1,218 @@
+"""Query and render decision lineage: explain / worker timeline / round table.
+
+Pure functions over a list of :class:`~repro.audit.records.Decision`
+rows (live-collected or trace-reconstructed — identical by contract).
+Rendering never recomputes mechanism math; every number printed is a
+field of the lineage record, so ``explain`` output *is* the audit
+trail, not a re-derivation that could drift from it.
+"""
+
+from __future__ import annotations
+
+from .records import AuditError, Decision
+
+__all__ = [
+    "find_decision",
+    "worker_timeline",
+    "round_decisions",
+    "explain_decision",
+    "explain_lines",
+    "worker_lines",
+    "round_lines",
+]
+
+
+def find_decision(
+    decisions: list[Decision], worker: int, round_idx: int
+) -> Decision | None:
+    for d in decisions:
+        if d.worker == worker and d.round == round_idx:
+            return d
+    return None
+
+
+def worker_timeline(decisions: list[Decision], worker: int) -> list[Decision]:
+    """One worker's decisions in round order."""
+    return sorted(
+        (d for d in decisions if d.worker == worker), key=lambda d: d.round
+    )
+
+
+def round_decisions(decisions: list[Decision], round_idx: int) -> list[Decision]:
+    """One round's decisions in worker order."""
+    return sorted(
+        (d for d in decisions if d.round == round_idx), key=lambda d: d.worker
+    )
+
+
+def _verdict(d: Decision) -> str:
+    if d.uncertain:
+        return "UNCERTAIN"
+    if d.accepted is True:
+        return "ACCEPTED"
+    if d.accepted is False:
+        return "FLAGGED"
+    return "UNSCORED"
+
+
+def _fmt(value, digits: int = 6) -> str:
+    return "-" if value is None else f"{value:.{digits}g}"
+
+
+def explain_decision(d: Decision) -> dict:
+    """Machine-readable causal decomposition of one decision."""
+    return {
+        "worker": d.worker,
+        "round": d.round,
+        "verdict": _verdict(d),
+        "detection": {
+            "score": d.score,
+            "threshold": d.threshold,
+            "margin": d.margin,
+            "uncertain": d.uncertain,
+        },
+        "reputation": {
+            "previous": d.reputation_prev,
+            "current": d.reputation,
+            "delta": d.reputation_delta,
+        },
+        "contribution": {
+            "value": d.contribution,
+            "baseline_b_h": d.b_h,
+            "share": d.share,
+        },
+        "reward": {
+            "budget": d.budget,
+            "amount": d.reward,
+            "cumulative": d.cumulative_reward,
+        },
+    }
+
+
+def explain_lines(d: Decision) -> list[str]:
+    """Human-readable causal decomposition of one decision."""
+    lines = [f"worker {d.worker} @ round {d.round}: {_verdict(d)}"]
+    if d.uncertain:
+        lines.append(
+            "  detection    upload lost before scoring (uncertain event;"
+            " Eq. 10 applies the uncertain decay)"
+        )
+    else:
+        lines.append(
+            f"  detection    score {_fmt(d.score)} vs threshold "
+            f"{_fmt(d.threshold)} -> margin {_fmt(d.margin)}"
+        )
+    lines.append(
+        f"  reputation   {_fmt(d.reputation_prev)} -> {_fmt(d.reputation)} "
+        f"(delta {_fmt(d.reputation_delta)})"
+    )
+    if d.contribution is not None:
+        lines.append(
+            f"  contribution C = {_fmt(d.contribution)} "
+            f"(baseline b_h = {_fmt(d.b_h)}) -> share {_fmt(d.share)}"
+        )
+    else:
+        lines.append("  contribution not scored this round (no aggregate)")
+    if d.reward is not None:
+        lines.append(
+            f"  reward       share x budget {_fmt(d.budget)} = "
+            f"{_fmt(d.reward)} (cumulative {_fmt(d.cumulative_reward)})"
+        )
+    else:
+        lines.append(
+            f"  reward       none this round "
+            f"(cumulative {_fmt(d.cumulative_reward)})"
+        )
+    return lines
+
+
+_TIMELINE_HEADER = (
+    f"{'round':>6} {'verdict':>10} {'score':>11} {'margin':>11} "
+    f"{'reputation':>11} {'rep_delta':>11} {'share':>11} {'reward':>11} "
+    f"{'cum_reward':>11}"
+)
+
+
+def _timeline_row(d: Decision) -> str:
+    return (
+        f"{d.round:>6} {_verdict(d):>10} {_fmt(d.score, 4):>11} "
+        f"{_fmt(d.margin, 4):>11} {_fmt(d.reputation, 4):>11} "
+        f"{_fmt(d.reputation_delta, 4):>11} {_fmt(d.share, 4):>11} "
+        f"{_fmt(d.reward, 4):>11} {_fmt(d.cumulative_reward, 4):>11}"
+    )
+
+
+def worker_lines(
+    decisions: list[Decision],
+    worker: int,
+    skipped: dict[int, str] | None = None,
+) -> list[str]:
+    """Timeline table for one worker; notes trainer-skipped rounds."""
+    timeline = worker_timeline(decisions, worker)
+    if not timeline:
+        if skipped:
+            return [
+                f"worker {worker}: no mechanism decisions on record — the "
+                f"trace holds only skipped rounds "
+                f"({len(skipped)}: {_skip_summary(skipped)})"
+            ]
+        raise AuditError(f"worker {worker} appears in no round of the trace")
+    flagged = sum(1 for d in timeline if d.flagged)
+    uncertain = sum(1 for d in timeline if d.uncertain)
+    last = timeline[-1]
+    lines = [
+        f"worker {worker}: {len(timeline)} rounds "
+        f"({flagged} flagged, {uncertain} uncertain), final reputation "
+        f"{_fmt(last.reputation)}, cumulative reward "
+        f"{_fmt(last.cumulative_reward)}",
+        _TIMELINE_HEADER,
+    ]
+    lines.extend(_timeline_row(d) for d in timeline)
+    if skipped:
+        lines.append(
+            f"(+{len(skipped)} trainer-skipped rounds: {_skip_summary(skipped)})"
+        )
+    return lines
+
+
+def _skip_summary(skipped: dict[int, str]) -> str:
+    shown = sorted(skipped)[:5]
+    parts = ", ".join(f"{t}:{skipped[t]}" for t in shown)
+    return parts + (", ..." if len(skipped) > len(shown) else "")
+
+
+def round_lines(
+    decisions: list[Decision],
+    round_idx: int,
+    skipped: dict[int, str] | None = None,
+) -> list[str]:
+    """Per-worker table for one round."""
+    rows = round_decisions(decisions, round_idx)
+    if not rows:
+        reason = (skipped or {}).get(round_idx)
+        if reason is not None:
+            return [
+                f"round {round_idx}: skipped by the trainer ({reason}) — "
+                f"no mechanism decisions"
+            ]
+        raise AuditError(f"round {round_idx} not present in the trace")
+    accepted = sum(1 for d in rows if d.accepted is True)
+    flagged = sum(1 for d in rows if d.flagged)
+    uncertain = sum(1 for d in rows if d.uncertain)
+    lines = [
+        f"round {round_idx}: {len(rows)} workers "
+        f"({accepted} accepted, {flagged} flagged, {uncertain} uncertain), "
+        f"threshold {_fmt(rows[0].threshold)}, budget {_fmt(rows[0].budget)}, "
+        f"b_h {_fmt(rows[0].b_h)}",
+        f"{'worker':>6} {'verdict':>10} {'score':>11} {'margin':>11} "
+        f"{'reputation':>11} {'rep_delta':>11} {'contrib':>11} "
+        f"{'share':>11} {'reward':>11}",
+    ]
+    for d in rows:
+        lines.append(
+            f"{d.worker:>6} {_verdict(d):>10} {_fmt(d.score, 4):>11} "
+            f"{_fmt(d.margin, 4):>11} {_fmt(d.reputation, 4):>11} "
+            f"{_fmt(d.reputation_delta, 4):>11} {_fmt(d.contribution, 4):>11} "
+            f"{_fmt(d.share, 4):>11} {_fmt(d.reward, 4):>11}"
+        )
+    return lines

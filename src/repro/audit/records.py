@@ -1,0 +1,204 @@
+"""Decision lineage records: one :class:`Decision` per (worker, round).
+
+A :class:`Decision` decomposes one worker's per-round outcome into its
+causal inputs — detection score vs. the threshold ``S_y`` (the margin),
+the reputation delta path, the contribution share against the baseline
+``b_h``, and the budget-scaled reward — exactly the quantities the FIFL
+pipeline computed, never re-derived approximations.
+
+Two builders produce the same records:
+
+* :func:`collect_decisions` — live, from a mechanism's in-memory
+  :class:`~repro.core.fifl.FIFLRoundRecord` list;
+* :func:`repro.audit.reconstruct.decisions_from_trace` — offline, from
+  the ``fifl.round`` events of a JSONL telemetry trace.
+
+Both funnel through the shared :class:`LineageBuilder`, so every
+derived float (margin, reputation delta, cumulative reward) goes
+through the *same sequence of IEEE operations* — the reconstruction is
+byte-for-byte equal to the live records, not merely close (enforced by
+``tests/audit/test_determinism.py``). All per-worker folds (previous
+reputation, cumulative reward) are keyed per worker, so mapping
+iteration order never affects the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..telemetry.sinks import encode_event
+
+__all__ = [
+    "AuditError",
+    "Decision",
+    "RoundInputs",
+    "LineageBuilder",
+    "collect_decisions",
+    "encode_decision",
+]
+
+
+class AuditError(RuntimeError):
+    """A trace or state store cannot support the requested audit."""
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One worker's fully-attributed outcome for one round.
+
+    ``score``/``margin``/``accepted`` are ``None`` for uncertain events
+    (the upload was lost before scoring); ``contribution``/``share``/
+    ``reward`` are ``None`` whenever the round produced no aggregate for
+    that worker (uncertain, or an empty round). ``reputation_prev`` is
+    the worker's reputation after its *previous appearance* (the
+    configured initial value on first appearance), so
+    ``reputation_delta = reputation - reputation_prev`` is the actual
+    Eq. 10 movement even across cohort absences.
+    """
+
+    round: int
+    worker: int
+    uncertain: bool
+    threshold: float
+    budget: float
+    score: float | None
+    margin: float | None
+    accepted: bool | None
+    reputation: float
+    reputation_prev: float
+    reputation_delta: float
+    contribution: float | None
+    share: float | None
+    b_h: float | None
+    reward: float | None
+    cumulative_reward: float
+
+    @property
+    def flagged(self) -> bool:
+        """Scored and rejected by the detector."""
+        return self.accepted is False
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def encode_decision(decision: Decision) -> str:
+    """Canonical one-line JSON encoding (the byte-identity currency)."""
+    return encode_event(decision.as_dict())
+
+
+@dataclass(frozen=True)
+class RoundInputs:
+    """One round's mechanism outputs, normalized to plain-int worker keys.
+
+    The adapter layer: live records and trace events both reduce to this
+    shape before the shared fold. ``reputations`` covers every worker
+    with an outcome this round (scored or uncertain); ``scores`` /
+    ``contributions`` / ``shares`` / ``rewards`` cover scored workers.
+    """
+
+    round_idx: int
+    scores: dict[int, float]
+    accepted: dict[int, bool]
+    uncertain: tuple[int, ...]
+    reputations: dict[int, float]
+    contributions: dict[int, float]
+    shares: dict[int, float]
+    rewards: dict[int, float]
+    b_h: float | None
+    threshold: float
+    budget: float
+    initial_reputation: float
+
+
+class LineageBuilder:
+    """Folds successive :class:`RoundInputs` into :class:`Decision` rows.
+
+    Stateful across rounds: tracks each worker's last reputation (for
+    the delta path) and cumulative reward — per-worker sums accumulated
+    with the same ``prev + amount`` float additions the live mechanism
+    performs, so the running totals match ``cumulative_rewards()``
+    bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._prev_rep: dict[int, float] = {}
+        self._cum_reward: dict[int, float] = {}
+
+    def cumulative_rewards(self) -> dict[int, float]:
+        """Running per-worker reward totals after the folded rounds."""
+        return dict(self._cum_reward)
+
+    def fold(self, inputs: RoundInputs) -> list[Decision]:
+        """One round's decisions, in ascending worker order."""
+        cum = self._cum_reward
+        for w, amount in inputs.rewards.items():
+            cum[w] = cum.get(w, 0.0) + amount
+        uncertain = set(inputs.uncertain)
+        workers = sorted(
+            set(inputs.reputations) | set(inputs.scores) | uncertain
+        )
+        decisions = []
+        for w in workers:
+            unc = w in uncertain
+            score = inputs.scores.get(w)
+            margin = None if score is None else score - inputs.threshold
+            accepted = None if unc else inputs.accepted.get(w)
+            rep = inputs.reputations.get(w, inputs.initial_reputation)
+            prev = self._prev_rep.get(w, inputs.initial_reputation)
+            decisions.append(
+                Decision(
+                    round=inputs.round_idx,
+                    worker=w,
+                    uncertain=unc,
+                    threshold=inputs.threshold,
+                    budget=inputs.budget,
+                    score=score,
+                    margin=margin,
+                    accepted=accepted,
+                    reputation=rep,
+                    reputation_prev=prev,
+                    reputation_delta=rep - prev,
+                    contribution=inputs.contributions.get(w),
+                    share=inputs.shares.get(w),
+                    b_h=inputs.b_h,
+                    reward=inputs.rewards.get(w),
+                    cumulative_reward=cum.get(w, 0.0),
+                )
+            )
+        for w, rep in inputs.reputations.items():
+            self._prev_rep[w] = rep
+        return decisions
+
+
+def _inputs_from_record(record, config) -> RoundInputs:
+    """Adapt one live :class:`FIFLRoundRecord` (worker keys already int)."""
+    return RoundInputs(
+        round_idx=record.round_idx,
+        scores=record.scores,
+        accepted=record.accepted,
+        uncertain=tuple(record.uncertain),
+        reputations=record.reputations,
+        contributions=record.contribs,
+        shares=record.shares,
+        rewards=record.rewards,
+        b_h=record.b_h,
+        threshold=config.detection.threshold,
+        budget=config.budget_per_round,
+        initial_reputation=config.initial_reputation,
+    )
+
+
+def collect_decisions(mechanism) -> list[Decision]:
+    """Decision lineage from a live mechanism's in-memory round records.
+
+    Covers exactly ``mechanism.records`` — under service history
+    compaction (``history_tail``) that is the uncompacted tail, and the
+    cumulative-reward column restarts there; reconstruct from the full
+    trace (``decisions_from_trace``) when whole-run lineage is needed.
+    """
+    builder = LineageBuilder()
+    decisions: list[Decision] = []
+    for record in mechanism.records:
+        decisions.extend(builder.fold(_inputs_from_record(record, mechanism.config)))
+    return decisions

@@ -29,8 +29,10 @@ Phase wall-clock lands in :mod:`repro.telemetry` spans under ``fifl.*``
 keys (the legacy :mod:`repro.profiling` snapshot still sees them). Each
 round additionally emits one ``fifl.round`` trace event — flagged
 workers, detection margins against ``S_y``, reputation deltas, rewards,
-and the reward-fairness gauges (Gini, normalized share entropy) — so a
-JSONL trace reconstructs every decision the mechanism made.
+and the reward-fairness gauges (Gini, normalized share entropy) — plus,
+with ``FIFLConfig.audit`` (the default), the full attribution payload
+(absolute reputations, contributions, shares, ``b_h``) so a JSONL trace
+reconstructs every decision the mechanism made (see :mod:`repro.audit`).
 
 Every round's intermediate results can be committed to a blockchain ledger
 (S4.5) for the audit protocol.
@@ -88,6 +90,9 @@ class FIFLRoundRecord:
     contribs: dict[int, float]
     shares: dict[int, float]
     rewards: dict[int, float]
+    # workers whose upload was lost this round (uncertain outcome); kept on
+    # the record so decision lineage (repro.audit) needs no TrainingHistory
+    uncertain: tuple[int, ...] = ()
 
 
 @dataclass
@@ -134,6 +139,11 @@ class FIFLConfig:
     # in shard order, so every backend is byte-identical to serial.
     backend: str = "serial"
     max_workers: int | None = None
+    # Emit the full attribution payload (absolute reputations, contribution
+    # shares, baseline b_h) on every ``fifl.round`` event so an offline
+    # trace reconstructs the complete decision lineage (repro.audit). Off
+    # only to A/B the emission cost (benchmarks/bench_audit.py).
+    audit: bool = True
 
     def __post_init__(self) -> None:
         if self.shard_size is not None and self.shard_size <= 0:
@@ -641,7 +651,8 @@ class FIFLMechanism:
             prof.defer(
                 self._round_telemetry,
                 (ctx.round_idx, ctx.uncertain, scores, accepted,
-                 reputations, rewards, score_vec, reward_vec),
+                 reputations, rewards, contribs, shares, b_h,
+                 score_vec, reward_vec),
                 4,
             )
 
@@ -655,6 +666,7 @@ class FIFLMechanism:
             contribs=contribs,
             shares=shares,
             rewards=rewards,
+            uncertain=tuple(sorted(int(w) for w in ctx.uncertain)),
         )
         self.records.append(record)
         if self.ledger is not None:
@@ -693,6 +705,9 @@ class FIFLMechanism:
         accepted: dict[int, bool],
         reputations: dict[int, float],
         rewards: dict[int, float],
+        contribs: dict[int, float],
+        shares: dict[int, float],
+        b_h: float | None,
         score_vec: np.ndarray | None,
         reward_vec: np.ndarray | None,
     ) -> list[dict]:
@@ -741,28 +756,34 @@ class FIFLMechanism:
             {"type": "metric", "kind": "gauge", "name": name, "value": value}
             for name, value in gauges
         ]
-        events.append(
-            {
-                "type": "fifl.round",
-                "data": {
-                    "round": round_idx,
-                    "flagged": flagged,
-                    "accepted": len(accepted) - len(flagged),
-                    "uncertain": sorted(int(w) for w in uncertain),
-                    "threshold": threshold,
-                    "scores": scores,
-                    "margin_min": float(margins.min()) if margins.size else None,
-                    "margin_max": float(margins.max()) if margins.size else None,
-                    "reputation_delta": {"workers": ids, "delta": rep_delta},
-                    "rep_min": float(rep_vals.min()) if rep_vals.size else None,
-                    "rep_max": float(rep_vals.max()) if rep_vals.size else None,
-                    "budget": self.config.budget_per_round,
-                    "rewards": rewards,
-                    "reward_gini": reward_gini,
-                    "share_entropy": reward_entropy,
-                },
-            }
-        )
+        data = {
+            "round": round_idx,
+            "flagged": flagged,
+            "accepted": len(accepted) - len(flagged),
+            "uncertain": sorted(int(w) for w in uncertain),
+            "threshold": threshold,
+            "scores": scores,
+            "margin_min": float(margins.min()) if margins.size else None,
+            "margin_max": float(margins.max()) if margins.size else None,
+            "reputation_delta": {"workers": ids, "delta": rep_delta},
+            "rep_min": float(rep_vals.min()) if rep_vals.size else None,
+            "rep_max": float(rep_vals.max()) if rep_vals.size else None,
+            "budget": self.config.budget_per_round,
+            "rewards": rewards,
+            "reward_gini": reward_gini,
+            "share_entropy": reward_entropy,
+        }
+        if self.config.audit:
+            # Attribution payload: absolute reputations (deltas alone cannot
+            # reconstruct state bit-exactly), contribution shares, and the
+            # baseline b_h, so repro.audit rebuilds the full decision lineage
+            # from the trace alone.
+            data["reputations"] = reputations
+            data["contributions"] = contribs
+            data["shares"] = shares
+            data["b_h"] = b_h
+            data["initial_reputation"] = self.config.initial_reputation
+        events.append({"type": "fifl.round", "data": data})
         return events
 
     # -- queries -----------------------------------------------------------------

@@ -95,6 +95,15 @@ class MonitorConfig:
     #: rewards are noisy), so the generic ``min_std`` would alert on
     #: healthy variation
     gini_min_std: float = 0.15
+    #: absolute ceiling for the *cumulative* positive-reward Gini — the
+    #: run-so-far concentration FIFL's fairness claim is about. Clean
+    #: runs settle well below this (per-round noise averages out of the
+    #: cumulative sum); a sustained breach means rewards are pooling on
+    #: a few workers
+    cumulative_gini_cap: float = 0.85
+    #: evaluate the cumulative-fairness scan every this-many mechanism
+    #: rounds (it is a slow signal, like the reputation drift scan)
+    fairness_check_stride: int = 8
     #: leave-one-out cohort z-score for per-worker cumulative
     #: reputation drift (each worker is compared against the mean/σ of
     #: the *other* workers, so one drifter in a small cohort is visible)

@@ -44,6 +44,11 @@ Anomalies:
                             re-arms once the margin recovers)
   ``reward-gini-spike``     reward Gini EWMA up-drift or above cap
                             (cap breach is edge-triggered likewise)
+  ``fairness-drift``        *cumulative* positive-reward Gini (the
+                            run-so-far concentration, computed exactly
+                            as ``repro.audit.fairness.cumulative_gini``)
+                            above the cap or EWMA up-drifting; scanned
+                            every ``fairness_check_stride`` rounds
   ``slo-degraded``          windowed fraction of degraded sim rounds
                             (late/offline) above the SLO budget
   ``shard-straggler``       one parallel shard's wall time far above its
@@ -123,10 +128,21 @@ class RuleEngine:
         self._rep_cumvec = None
         self._rep_index: dict = {}
         self._rep_rounds = 0
+        self._cum_gini = EwmaDetector(
+            alpha=cfg.ewma_alpha,
+            z_threshold=cfg.z_threshold,
+            warmup=cfg.warmup_rounds,
+            min_std=cfg.gini_min_std,
+            direction="up",
+        )
+        # cumulative reward per worker, for the run-so-far fairness scan
+        self._cum_reward: dict[int, float] = {}
+        self._fairness_rounds = 0
         # level-alert latches: a persistently-collapsed signal fires once
         # at the crossing, not every round until it recovers
         self._margin_below = False
         self._gini_above = False
+        self._cum_gini_above = False
         self._drift_fired: set[int] = set()
         # previous cumulative comm counters, for monotonicity
         self._prev_comm: dict[str, float] | None = None
@@ -353,6 +369,50 @@ class RuleEngine:
                         f"round {rnd}: reward Gini spiked (z={z:.2f})",
                         reward_gini=float(gini), z=float(z),
                     )
+
+        # fairness-drift: the cumulative positive-reward Gini across the
+        # whole run so far — the quantity FIFL's fairness claim is about.
+        # Per-round Gini is noisy (reward-gini-spike covers spikes);
+        # sustained concentration of the *cumulative* pot is the drift
+        # signal. Per-worker-keyed accumulation, so live int keys and
+        # replayed string keys fold to bit-identical state. Imported
+        # lazily: audit pulls in the service layer, which imports this
+        # package.
+        if rewards:
+            cum = self._cum_reward
+            for w, v in rewards.items():
+                k = int(w)
+                cum[k] = cum.get(k, 0.0) + float(v)
+            self._fairness_rounds += 1
+            if (
+                self._fairness_rounds >= cfg.warmup_rounds
+                and self._fairness_rounds % cfg.fairness_check_stride == 0
+                and len(cum) >= 2
+            ):
+                from ..audit.fairness import cumulative_gini
+
+                cgini = cumulative_gini(cum)
+                if cgini > cfg.cumulative_gini_cap:
+                    if not self._cum_gini_above:
+                        self._cum_gini_above = True
+                        alert(
+                            "fairness-drift", "anomaly",
+                            f"round {rnd}: cumulative reward Gini "
+                            f"{cgini:.4f} above cap "
+                            f"{cfg.cumulative_gini_cap}",
+                            cumulative_gini=float(cgini),
+                            cap=cfg.cumulative_gini_cap,
+                        )
+                else:
+                    self._cum_gini_above = False
+                    z = self._cum_gini.update(cgini)
+                    if z is not None:
+                        alert(
+                            "fairness-drift", "anomaly",
+                            f"round {rnd}: cumulative reward Gini drifted "
+                            f"up (z={z:.2f}, gini={cgini:.4f})",
+                            cumulative_gini=float(cgini), z=float(z),
+                        )
 
         # reputation-drift: any worker whose cumulative movement sits both
         # an absolute gap and drift_sigma leave-one-out cohort-σ below the

@@ -207,6 +207,14 @@ def _cmd_status(args) -> int:
         manifest = read_manifest(latest)
         status["round"] = manifest["round"]
         status["config"] = manifest.get("config_echo", {})
+    if args.audit:
+        # Lineage chain across process lifetimes: every retained
+        # snapshot's audit anchors, oldest first — the digests
+        # ``repro.audit verify --dir`` checks a resumed service against.
+        status["audit"] = [
+            {"snapshot": p.name, **read_manifest(p).get("audit", {})}
+            for p in snaps
+        ]
     print(json.dumps(status, indent=2, sort_keys=True))
     return 0 if snaps else 1
 
@@ -278,6 +286,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p_status = sub.add_parser("status", help="snapshot inventory")
     p_status.add_argument("--dir", required=True)
+    p_status.add_argument(
+        "--audit",
+        action="store_true",
+        help="include each snapshot's lineage digest anchors",
+    )
     p_status.set_defaults(fn=_cmd_status)
 
     p_inspect = sub.add_parser("inspect", help="verify one snapshot")

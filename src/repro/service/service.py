@@ -222,6 +222,14 @@ class FederationService:
             "service.checkpoint",
             {"round": self.next_round, "components": len(state)},
         )
+        # Lineage anchor: the rolling digests at this checkpoint, both in
+        # the trace (so offline audits see the digest chain advance) and
+        # in the snapshot manifest (so ``repro.audit verify --dir`` can
+        # tie a resumed process back to the exact state it inherited).
+        # Pure functions of federation state, so a resumed process emits
+        # the same anchors the uninterrupted one would (byte-identity).
+        audit_block = self._audit_block()
+        tele.event("service.audit", audit_block)
         tele.flush()
         state["telemetry"] = capture_telemetry(tele)
         blobs = encode_snapshot_blobs(self.config, state)
@@ -229,10 +237,29 @@ class FederationService:
             self.snapshot_dir,
             self.next_round,
             blobs,
-            extra_manifest={"config_echo": self._config_echo()},
+            extra_manifest={
+                "config_echo": self._config_echo(),
+                # the manifest copy also records the compaction cursor —
+                # policy-dependent, so it must never ride in the trace
+                # event (history_tail would change trace bytes)
+                "audit": {**audit_block,
+                          "rounds_folded": self._rounds_folded},
+            },
         )
         self._prune()
         return path
+
+    def _audit_block(self) -> dict:
+        """Digest anchors for decision-lineage continuity across resume."""
+        block = {
+            "round": self.next_round,
+            "history_digest": self.history_digest(),
+            "reputation_digest": self.reputation_digest(),
+        }
+        if self.ledger is not None:
+            block["ledger_head"] = self.ledger.head_hash()
+            block["ledger_blocks"] = len(self.ledger)
+        return block
 
     def _config_echo(self) -> dict:
         """Human-readable manifest block for ``status`` / ``inspect``."""

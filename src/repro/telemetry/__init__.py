@@ -35,6 +35,7 @@ from .sinks import (
     ConsoleSink,
     JsonlSink,
     MemorySink,
+    MetricsTextSink,
     decode_event,
     encode_event,
     read_trace,
@@ -44,6 +45,7 @@ from .summary import (
     parallel_summary,
     render_summary,
     trace_summary,
+    worker_trajectory,
 )
 
 __all__ = [
@@ -58,11 +60,13 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "ConsoleSink",
+    "MetricsTextSink",
     "encode_event",
     "decode_event",
     "read_trace",
     "trace_summary",
     "render_summary",
+    "worker_trajectory",
     "aggregate_spans",
     "parallel_summary",
     "run_manifest",

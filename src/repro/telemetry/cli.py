@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.telemetry summarize results/trace.jsonl
     python -m repro.telemetry summarize trace.jsonl --rounds 0 --json
+    python -m repro.telemetry summarize trace.jsonl --worker 5
 
 ``summarize`` reads a JSONL trace (written by
 :class:`repro.telemetry.JsonlSink`) and prints the per-round mechanism
@@ -21,7 +22,12 @@ import sys
 
 from .core import SCHEMA_VERSION
 from .sinks import read_trace
-from .summary import render_summary, trace_summary
+from .summary import (
+    render_summary,
+    render_worker,
+    trace_summary,
+    worker_trajectory,
+)
 
 __all__ = ["main"]
 
@@ -42,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
     p_sum.add_argument(
         "--json", action="store_true",
         help="print the machine-readable summary block instead of tables",
+    )
+    p_sum.add_argument(
+        "--worker", type=int, default=None,
+        help="print one worker's reward/reputation trajectory instead",
     )
     args = parser.parse_args(argv)
 
@@ -72,7 +82,13 @@ def main(argv: list[str] | None = None) -> int:
             f"(this reader understands v{SCHEMA_VERSION})",
             file=sys.stderr,
         )
-    if args.json:
+    if args.worker is not None:
+        if args.json:
+            print(json.dumps(worker_trajectory(events, args.worker), indent=2))
+        else:
+            for row in render_worker(events, args.worker):
+                print(row)
+    elif args.json:
         print(json.dumps(trace_summary(events), indent=2))
     else:
         for row in render_summary(events, max_rounds=args.rounds):

@@ -18,6 +18,8 @@ from .core import SCHEMA_VERSION, format_profile
 __all__ = [
     "trace_summary",
     "render_summary",
+    "worker_trajectory",
+    "render_worker",
     "aggregate_spans",
     "parallel_summary",
 ]
@@ -122,6 +124,93 @@ def trace_summary(events: list[dict]) -> dict:
 
 def _fmt_ids(ids: list) -> str:
     return ",".join(str(i) for i in ids) if ids else "-"
+
+
+def worker_trajectory(events: list[dict], worker: int) -> dict:
+    """One worker's per-round reward/reputation path through a trace.
+
+    Works on any v1 trace: rewards and the flagged/uncertain sets are
+    always on the ``fifl.round`` event; absolute reputations ride along
+    when the trace was recorded with ``FIFLConfig.audit`` (the default)
+    and are ``None`` otherwise. Rounds the worker was not scored in are
+    omitted; trainer-skipped rounds are counted separately so a
+    skipped-only trace still summarizes cleanly.
+    """
+    key = str(worker)
+    rows = []
+    cumulative = 0.0
+    for r in _round_events(events):
+        rewards = r.get("rewards", {})
+        reward = rewards.get(worker, rewards.get(key))
+        uncertain = any(int(w) == worker for w in r.get("uncertain", ()))
+        scored = (
+            worker in r.get("scores", {}) or key in r.get("scores", {})
+        )
+        if reward is None and not uncertain and not scored:
+            continue
+        flagged = any(int(w) == worker for w in r.get("flagged", ()))
+        reps = r.get("reputations")
+        reputation = (
+            reps.get(worker, reps.get(key)) if reps is not None else None
+        )
+        if reward is not None:
+            cumulative += reward
+        rows.append(
+            {
+                "round": r.get("round"),
+                "status": (
+                    "uncertain" if uncertain
+                    else "flagged" if flagged
+                    else "accepted"
+                ),
+                "reward": reward,
+                "cumulative_reward": cumulative,
+                "reputation": reputation,
+            }
+        )
+    skipped = sum(
+        1 for ev in events if ev.get("type") == "trainer.skipped_round"
+    )
+    return {"worker": worker, "rounds": rows, "skipped_rounds": skipped}
+
+
+def render_worker(events: list[dict], worker: int) -> list[str]:
+    """Printable per-worker trajectory table for the ``--worker`` filter."""
+    traj = worker_trajectory(events, worker)
+    rows = traj["rounds"]
+    skipped = traj["skipped_rounds"]
+    if not rows:
+        note = (
+            f" ({skipped} trainer-skipped rounds — no mechanism decisions)"
+            if skipped
+            else ""
+        )
+        return [f"worker {worker}: no mechanism rounds in this trace{note}"]
+    flagged = sum(1 for r in rows if r["status"] == "flagged")
+    uncertain = sum(1 for r in rows if r["status"] == "uncertain")
+    last = rows[-1]
+    head = (
+        f"worker {worker}: {len(rows)} rounds ({flagged} flagged, "
+        f"{uncertain} uncertain), cumulative reward "
+        f"{last['cumulative_reward']:+.4f}"
+    )
+    if last["reputation"] is not None:
+        head += f", final reputation {last['reputation']:.4f}"
+    out = [
+        head,
+        f"{'round':>7} {'status':>10} {'reward':>10} {'cum_reward':>11} "
+        f"{'reputation':>11}",
+    ]
+    for r in rows:
+        reward = "-" if r["reward"] is None else f"{r['reward']:+.4f}"
+        rep = "-" if r["reputation"] is None else f"{r['reputation']:.4f}"
+        out.append(
+            f"{r['round']:>7} {r['status']:>10} {reward:>10} "
+            f"{r['cumulative_reward']:>+11.4f} {rep:>11}"
+        )
+    if skipped:
+        out.append(f"(+{skipped} trainer-skipped rounds)")
+    return out
 
 
 def render_summary(

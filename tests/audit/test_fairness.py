@@ -1,0 +1,106 @@
+"""Cumulative fairness drill-down: Gini, groups, cohorts."""
+
+import math
+
+import pytest
+
+from repro.audit import (
+    cumulative_fairness,
+    cumulative_gini,
+    decisions_from_trace,
+    fairness_report,
+)
+
+from .conftest import ATTACKER
+
+
+class TestCumulativeGini:
+    def test_equal_split_is_zero(self):
+        assert cumulative_gini({0: 5.0, 1: 5.0, 2: 5.0}) == pytest.approx(0.0)
+
+    def test_total_concentration_approaches_one(self):
+        n = 10
+        totals = {w: 0.0 for w in range(n - 1)}
+        totals[n - 1] = 100.0
+        assert cumulative_gini(totals) == pytest.approx((n - 1) / n)
+
+    def test_punishments_clipped_to_zero(self):
+        # a worker with negative cumulative reward counts as zero share,
+        # exactly like the per-round gauges
+        assert cumulative_gini({0: 5.0, 1: -3.0}) == cumulative_gini(
+            {0: 5.0, 1: 0.0}
+        )
+
+    def test_order_independent(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0}
+        b = {2: 3.0, 0: 1.0, 1: 2.0}
+        assert cumulative_fairness(a) == cumulative_fairness(b)
+
+    def test_entropy_is_normalized(self):
+        _, entropy = cumulative_fairness({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert entropy == pytest.approx(1.0)
+        assert not math.isnan(entropy)
+
+
+class TestFairnessReport:
+    @pytest.fixture(scope="class")
+    def report(self, traced):
+        _, _, events = traced
+        return fairness_report(
+            decisions_from_trace(events), attackers={ATTACKER}
+        )
+
+    def test_shape(self, report, traced):
+        mech, _, _ = traced
+        assert report["rounds"] == len(mech.records)
+        assert report["workers"] == 5
+        assert len(report["per_worker"]) == 5
+        assert 0.0 <= report["cumulative"]["reward_gini"] <= 1.0
+
+    def test_per_worker_rows_partition_rounds(self, report):
+        for row in report["per_worker"]:
+            assert (
+                row["accepted"] + row["flagged"] + row["uncertain"]
+                == row["rounds"]
+            )
+
+    def test_attacker_group_split(self, report):
+        groups = report["groups"]
+        assert groups["attacker"]["workers"] == 1
+        assert groups["honest"]["workers"] == 4
+        # the fairness headline: the sign-flipper is starved relative to
+        # honest workers
+        assert (
+            groups["attacker"]["reward_total"]
+            < groups["honest"]["reward_mean"]
+        )
+
+    def test_attacker_accumulates_flags(self, report):
+        [row] = [
+            r for r in report["per_worker"] if r["worker"] == ATTACKER
+        ]
+        assert row["flagged"] > 0
+
+    def test_cohort_block_from_synthetic_cohorts(self, traced):
+        _, _, events = traced
+        decisions = decisions_from_trace(events)
+        cohorts = {
+            0: {"population_size": 5, "sampled": 5, "coverage": 1.0},
+            1: {"population_size": 5, "sampled": 5, "coverage": 1.0},
+        }
+        report = fairness_report(decisions, cohorts=cohorts)
+        block = report["cohorts"]
+        assert block["sampled_rounds"] == 2
+        assert block["population_size"] == 5
+        assert block["coverage_final"] == 1.0
+        assert (
+            block["participation_min"]
+            <= block["participation_median"]
+            <= block["participation_max"]
+        )
+
+    def test_empty_lineage(self):
+        report = fairness_report([])
+        assert report["rounds"] == 0
+        assert report["workers"] == 0
+        assert report["per_worker"] == []

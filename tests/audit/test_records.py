@@ -1,0 +1,178 @@
+"""LineageBuilder fold mechanics and the Decision record contract."""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    Decision,
+    LineageBuilder,
+    RoundInputs,
+    collect_decisions,
+    encode_decision,
+)
+
+
+def make_inputs(
+    t,
+    *,
+    scores=None,
+    accepted=None,
+    uncertain=(),
+    reps=None,
+    contribs=None,
+    shares=None,
+    rewards=None,
+    b_h=1.0,
+    threshold=0.1,
+    budget=10.0,
+    initial=0.0,
+):
+    return RoundInputs(
+        round_idx=t,
+        scores=scores or {},
+        accepted=accepted or {},
+        uncertain=tuple(uncertain),
+        reputations=reps or {},
+        contributions=contribs or {},
+        shares=shares or {},
+        rewards=rewards or {},
+        b_h=b_h,
+        threshold=threshold,
+        budget=budget,
+        initial_reputation=initial,
+    )
+
+
+class TestFold:
+    def test_margin_is_score_minus_threshold(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                        reps={0: 0.2}, threshold=0.1)
+        )
+        assert d.margin == 0.5 - 0.1
+        assert d.accepted is True
+        assert not d.flagged
+
+    def test_flagged_decision(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, scores={0: -0.9}, accepted={0: False},
+                        reps={0: 0.0})
+        )
+        assert d.flagged
+        assert d.accepted is False
+
+    def test_uncertain_decision_has_no_score_or_verdict(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, uncertain=(4,), reps={4: 0.1})
+        )
+        assert d.uncertain
+        assert d.score is None
+        assert d.margin is None
+        assert d.accepted is None
+        assert not d.flagged
+
+    def test_first_appearance_prev_is_initial(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                        reps={0: 0.3}, initial=0.1)
+        )
+        assert d.reputation_prev == 0.1
+        assert d.reputation_delta == 0.3 - 0.1
+
+    def test_prev_reputation_persists_across_absence(self):
+        # worker 0 appears in round 0, is absent in round 1 (cohort
+        # sampling), and returns in round 2 — the delta must be against
+        # its round-0 reputation, not the initial value
+        builder = LineageBuilder()
+        builder.fold(make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                                 reps={0: 0.3}))
+        builder.fold(make_inputs(1, scores={1: 0.5}, accepted={1: True},
+                                 reps={1: 0.2}))
+        [d] = builder.fold(
+            make_inputs(2, scores={0: 0.4}, accepted={0: True},
+                        reps={0: 0.5})
+        )
+        assert d.reputation_prev == 0.3
+        assert d.reputation_delta == 0.5 - 0.3
+
+    def test_cumulative_reward_accumulates(self):
+        builder = LineageBuilder()
+        builder.fold(make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                                 reps={0: 0.1}, rewards={0: 2.0}))
+        [d] = builder.fold(
+            make_inputs(1, scores={0: 0.5}, accepted={0: True},
+                        reps={0: 0.2}, rewards={0: 3.0})
+        )
+        assert d.reward == 3.0
+        assert d.cumulative_reward == 5.0
+        assert builder.cumulative_rewards() == {0: 5.0}
+
+    def test_decisions_sorted_by_worker(self):
+        ds = LineageBuilder().fold(
+            make_inputs(0, scores={7: 0.1, 2: 0.2}, uncertain=(5,),
+                        accepted={7: True, 2: True},
+                        reps={7: 0.1, 2: 0.1, 5: 0.0})
+        )
+        assert [d.worker for d in ds] == [2, 5, 7]
+
+
+class TestEncoding:
+    def test_encode_is_canonical_json(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                        reps={0: 0.2}, rewards={0: 1.0}, shares={0: 0.1})
+        )
+        payload = json.loads(encode_decision(d))
+        assert payload["worker"] == 0
+        assert payload["round"] == 0
+        assert payload == d.as_dict()
+
+    def test_identical_folds_encode_identically(self):
+        args = dict(scores={0: 0.5}, accepted={0: True}, reps={0: 0.2},
+                    rewards={0: 1.0})
+        a = LineageBuilder().fold(make_inputs(0, **args))
+        b = LineageBuilder().fold(make_inputs(0, **args))
+        assert [encode_decision(d) for d in a] == [
+            encode_decision(d) for d in b
+        ]
+
+    def test_decision_is_frozen(self):
+        [d] = LineageBuilder().fold(
+            make_inputs(0, scores={0: 0.5}, accepted={0: True},
+                        reps={0: 0.2})
+        )
+        with pytest.raises(AttributeError):
+            d.reward = 1.0
+
+
+class TestCollectDecisions:
+    def test_covers_every_record_and_round(self, traced):
+        mech, _, _ = traced
+        decisions = collect_decisions(mech)
+        assert decisions
+        assert {d.round for d in decisions} == {
+            r.round_idx for r in mech.records
+        }
+        assert all(isinstance(d, Decision) for d in decisions)
+
+    def test_reproduces_exact_mechanism_numbers(self, traced):
+        # acceptance criterion: explain reproduces the exact reward and
+        # reputation values the mechanism recorded — no re-derivation
+        mech, _, _ = traced
+        by_key = {
+            (d.round, d.worker): d for d in collect_decisions(mech)
+        }
+        for rec in mech.records:
+            for w, reward in rec.rewards.items():
+                assert by_key[(rec.round_idx, w)].reward == reward
+            for w, rep in rec.reputations.items():
+                assert by_key[(rec.round_idx, w)].reputation == rep
+
+    def test_cumulative_rewards_match_live_accumulator(self, traced):
+        mech, _, _ = traced
+        builder_totals = {}
+        for d in collect_decisions(mech):
+            if d.reward is not None:
+                builder_totals[d.worker] = d.cumulative_reward
+        assert builder_totals == mech.cumulative_rewards()

@@ -1,0 +1,91 @@
+"""Trace verification battery: clean traces pass, tampered traces fail."""
+
+from repro.audit import verify_trace
+
+from .conftest import run_traced
+
+
+def check(report, name):
+    return next(c for c in report.checks if c.name == name)
+
+
+def round_events(events):
+    return [e for e in events if e.get("type") == "fifl.round"]
+
+
+def commit_events(events):
+    return [e for e in events if e.get("type") == "ledger.commit"]
+
+
+class TestCleanTrace:
+    def test_all_checks_pass(self, traced):
+        _, _, events = traced
+        report = verify_trace(events)
+        assert report.ok, [c.detail for c in report.failures()]
+        # with a ledger attached nothing should even be skipped
+        assert report.ok_strict(), [
+            (c.name, c.status) for c in report.checks if c.status != "pass"
+        ]
+
+    def test_ledger_checks_exercised(self, traced):
+        _, _, events = traced
+        names = {c.name for c in verify_trace(events).checks}
+        assert {"ledger-digest", "ledger-chain"} <= names
+
+    def test_ledgerless_trace_skips_ledger_checks(self):
+        _, _, events = run_traced(rounds=2, with_ledger=False)
+        report = verify_trace(events)
+        assert report.ok
+        assert not report.ok_strict()
+        assert check(report, "ledger-digest").status == "skip"
+
+    def test_report_serializes(self, traced):
+        _, _, events = traced
+        d = verify_trace(events).to_dict()
+        assert d["ok"] is True
+        assert {c["status"] for c in d["checks"]} == {"pass"}
+
+
+class TestTamperedTrace:
+    def test_mutated_reward_breaks_arithmetic_and_digest(self, events_copy):
+        data = round_events(events_copy)[0]["data"]
+        w = next(iter(data["rewards"]))
+        data["rewards"][w] = float(data["rewards"][w]) + 1.0
+        report = verify_trace(events_copy)
+        assert not report.ok
+        assert check(report, "reward-arithmetic").status == "fail"
+        assert check(report, "ledger-digest").status == "fail"
+
+    def test_dropped_round_breaks_coverage(self, events_copy):
+        victim = round_events(events_copy)[2]
+        events_copy.remove(victim)
+        report = verify_trace(events_copy)
+        assert check(report, "round-coverage").status == "fail"
+
+    def test_tampered_commit_hash_breaks_chain(self, events_copy):
+        commit_events(events_copy)[1]["data"]["hash"] = "deadbeef"
+        report = verify_trace(events_copy)
+        assert check(report, "ledger-chain").status == "fail"
+
+    def test_conflicting_duplicate_round_is_a_fork(self, events_copy):
+        import copy
+
+        dup = copy.deepcopy(round_events(events_copy)[0])
+        w = next(iter(dup["data"]["reputations"]))
+        dup["data"]["reputations"][w] = 0.999
+        events_copy.append(dup)
+        report = verify_trace(events_copy)
+        assert check(report, "lineage-fork").status == "fail"
+
+    def test_audit_off_trace_fails_payload_check(self):
+        _, _, events = run_traced(rounds=2, with_ledger=False, audit=False)
+        report = verify_trace(events)
+        assert check(report, "audit-payload").status == "fail"
+
+    def test_mutated_reputation_breaks_delta_consistency(self, events_copy):
+        # the emitted delta vector no longer matches the absolute path
+        data = round_events(events_copy)[-1]["data"]
+        w = next(iter(data["reputations"]))
+        data["reputations"][w] = float(data["reputations"][w]) + 0.5
+        report = verify_trace(events_copy)
+        assert not report.ok

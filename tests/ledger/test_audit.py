@@ -103,3 +103,57 @@ class TestEndToEndWithMechanism:
             report = audit_reputation(chain, worker=wid, gamma=0.3)
             assert report.clean, f"worker {wid} audit failed: {report.findings}"
             assert report.rounds_checked == 8
+
+
+class TestEdgeCases:
+    """Boundary shapes the resumable-service audit path produces."""
+
+    def test_empty_chain_is_trivially_clean(self):
+        report = audit_reputation(Blockchain(), worker=0, gamma=GAMMA)
+        assert report.clean
+        assert report.rounds_checked == 0
+        assert report.findings == []
+        assert report.implicated_signers() == set()
+
+    def test_single_identity_chain(self):
+        # every block signed by the same server key — the degenerate
+        # signer set a single-aggregator deployment produces
+        chain = build_chain([{0: True}] * 3, signer="only-server")
+        assert {b.signer for b in chain.blocks} == {"only-server"}
+        report = audit_reputation(chain, worker=0, gamma=GAMMA)
+        assert report.clean
+
+        tampered = dict(chain[1].payload)
+        tampered["reputations"] = {"0": 0.99}
+        chain.tamper(1, tampered)
+        report = audit_reputation(chain, worker=0, gamma=GAMMA)
+        assert not report.clean
+        assert report.implicated_signers() == {"only-server"}
+
+    def test_post_resume_chain_head_links(self):
+        # mirror the snapshot capture/restore dance: a resumed service
+        # rebuilds the chain from copied block/identity state, then keeps
+        # appending — the head must carry over so the restored chain is
+        # one contiguous lineage, not a fresh genesis
+        chain = build_chain([{0: True}, {0: False}])
+        head = chain.head_hash()
+
+        restored = Blockchain()
+        restored._blocks = list(chain._blocks)
+        restored._identities = dict(chain._identities)
+        assert restored.head_hash() == head
+        assert restored.is_intact()
+
+        rep = DecayReputation(gamma=GAMMA)
+        rep.update_all({0: True})
+        rep.update_all({0: False})
+        reps = rep.update_all({0: True})
+        blk = restored.append(
+            {"round": 2, "accepted": {0: True}, "reputations": reps},
+            signer="server-A",
+        )
+        assert blk.prev_hash == head
+        assert restored.is_intact()
+        report = audit_reputation(restored, worker=0, gamma=GAMMA)
+        assert report.clean
+        assert report.rounds_checked == 3

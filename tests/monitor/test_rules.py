@@ -321,3 +321,49 @@ class TestAlertShape:
         # the engine itself never raises; raising is the Monitor's job
         eng = engine(strict=True)
         assert eng.process(fifl_event(rep_max=9.0))
+
+
+class TestFairnessDrift:
+    """Cumulative reward concentration (run-so-far Gini) watchdog."""
+
+    def concentrated(self, rnd):
+        # per-round gauge looks fair (reward_gini field untouched) while
+        # every unit of budget lands on worker 0 — the run-so-far split
+        # is maximally concentrated
+        return neutral_event(
+            rnd=rnd, rewards={0: 1.0, 1: 0.0, 2: 0.0, 3: 0.0}
+        )
+
+    def test_cap_breach_fires_once_and_latches(self):
+        eng = engine(warmup_rounds=4, fairness_check_stride=4,
+                     cumulative_gini_cap=0.6)
+        fired = []
+        for r in range(16):
+            fired.extend(eng.process(self.concentrated(r)))
+        drift = [a for a in fired if a.rule == "fairness-drift"]
+        assert len(drift) == 1
+        assert drift[0].data["cumulative_gini"] == pytest.approx(0.75)
+
+    def test_balanced_rewards_stay_silent(self):
+        eng = engine(warmup_rounds=4, fairness_check_stride=4,
+                     cumulative_gini_cap=0.6)
+        for r in range(16):
+            assert eng.process(neutral_event(rnd=r)) == []
+
+    def test_stride_and_warmup_gate_the_check(self):
+        # stride 8, warmup 5: the first possible check is the 8th event
+        eng = engine(warmup_rounds=5, fairness_check_stride=8,
+                     cumulative_gini_cap=0.6)
+        rounds_fired = []
+        for r in range(17):
+            for a in eng.process(self.concentrated(r)):
+                if a.rule == "fairness-drift":
+                    rounds_fired.append(r + 1)
+        assert rounds_fired == [8]
+
+    def test_default_cap_needs_deep_concentration(self):
+        # 4 workers max out at Gini 0.75 < the 0.85 default cap — small
+        # cohorts never breach it by construction
+        eng = engine(fairness_check_stride=1, warmup_rounds=1)
+        for r in range(12):
+            assert eng.process(self.concentrated(r)) == []
